@@ -1,0 +1,57 @@
+// Shared plumbing for the bench binaries.
+//
+// Every bench regenerates one table or figure of the paper: it runs the
+// measurement campaign (or an A/B pair) at a bench-scale fleet size, feeds
+// the collected dataset through the analysis library, and prints the same
+// rows/series the paper reports alongside the paper's published values.
+//
+// Scale knobs (environment):
+//   CELLREL_BENCH_DEVICES  fleet size (default 4000)
+//   CELLREL_BENCH_BS       base-station count (default 8000)
+//   CELLREL_BENCH_SEED     campaign seed (default 20200101)
+
+#ifndef CELLREL_BENCH_BENCH_COMMON_H
+#define CELLREL_BENCH_BENCH_COMMON_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/aggregate.h"
+#include "analysis/report.h"
+#include "workload/campaign.h"
+
+namespace cellrel::bench {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value ? static_cast<std::uint64_t>(std::atoll(value)) : fallback;
+}
+
+inline Scenario bench_scenario(std::string name) {
+  Scenario sc;
+  sc.name = std::move(name);
+  sc.device_count = static_cast<std::uint32_t>(env_u64("CELLREL_BENCH_DEVICES", 4000));
+  sc.deployment.bs_count = static_cast<std::uint32_t>(env_u64("CELLREL_BENCH_BS", 8000));
+  sc.seed = env_u64("CELLREL_BENCH_SEED", 20200101);
+  return sc;
+}
+
+inline void print_header(const char* artifact, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact, description);
+  std::printf("==============================================================\n");
+}
+
+inline CampaignResult run_measurement(const char* artifact, const char* description) {
+  print_header(artifact, description);
+  Scenario sc = bench_scenario(artifact);
+  std::printf("[campaign: %u devices, %u BSes, seed %llu]\n\n", sc.device_count,
+              sc.deployment.bs_count, static_cast<unsigned long long>(sc.seed));
+  Campaign campaign(sc);
+  return campaign.run();
+}
+
+}  // namespace cellrel::bench
+
+#endif  // CELLREL_BENCH_BENCH_COMMON_H

@@ -1,0 +1,53 @@
+// Figure 10: most Data_Stall failures are automatically fixed within a few
+// seconds (60% within 10 s). The stall durations here are the ones
+// Android-MOD's probing ladder measured (error <= 5 s), which is exactly the
+// dataset the paper's TIMP calibration consumes.
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 10", "auto-recovery time of Data_Stall failures");
+
+  // Probing-measured durations of kept (true) stalls.
+  SampleSet stall_durations;
+  result.dataset.for_each_kept([&](const TraceRecord& r) {
+    if (r.type == FailureType::kDataStall) stall_durations.add(r.duration.to_seconds());
+  });
+  std::printf("CDF of measured Data_Stall durations (n=%zu):\n%s\n", stall_durations.size(),
+              render_cdf(stall_durations, default_cdf_quantiles()).c_str());
+
+  // The probing ladder resolves on 5 s round boundaries, so a stall that
+  // auto-fixed within t seconds is measured as <= t + 5 s; compare the
+  // paper's anchors against the error-widened thresholds.
+  const std::vector<Comparison> rows = {
+      {"fixed within 10 s", 60.0, stall_durations.fraction_below(15.2) * 100.0,
+       "% (measured at 10 s + 5 s probe error)"},
+      {"fixed within 30 s", 70.0, stall_durations.fraction_below(35.2) * 100.0,
+       "% (measured at 30 s + 5 s)"},
+      {"fixed within 300 s", 80.0, stall_durations.fraction_below(305.2) * 100.0,
+       "% (§2.2: >80% within 300 s)"},
+  };
+  std::fputs(render_comparisons(rows).c_str(), stdout);
+
+  // Recovery outcome mix for context (§3.2: stage 1 fixes 75% once run).
+  std::array<int, 5> outcomes{};
+  int fixed_stage1 = 0, fixed_total = 0;
+  for (const auto& ep : result.recovery_episodes) {
+    ++outcomes[static_cast<std::size_t>(ep.outcome)];
+    if (ep.outcome == RecoveryOutcome::kFixedByStage) {
+      ++fixed_total;
+      if (ep.fixed_by == RecoveryStage::kCleanupConnection && ep.cycles == 0) ++fixed_stage1;
+    }
+  }
+  std::printf("\nrecovery outcomes: auto=%d fixed-by-stage=%d user-reset=%d exhausted=%d\n",
+              outcomes[0], outcomes[1], outcomes[2], outcomes[3]);
+  if (fixed_total > 0) {
+    std::printf("first execution of stage 1 resolved %.0f%% of stage-fixed stalls "
+                "(paper: 75%% of cases once executed)\n",
+                100.0 * fixed_stage1 / fixed_total);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figures 12 & 13: prevalence and frequency of cellular failures per ISP
+// (paper: 27.1% ISP-B > 20.1% ISP-A > 14.7% ISP-C).
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figures 12/13", "per-ISP prevalence and frequency");
+  const Aggregator agg(result.dataset);
+  const auto by_isp = agg.by_isp();
+
+  constexpr std::array<double, kIspCount> kPaperPrevalence = {20.1, 27.1, 14.7};
+  TextTable table({"ISP", "devices", "prev(paper)", "prev(meas)", "freq(meas)"});
+  for (IspId isp : kAllIsps) {
+    const auto& pf = by_isp[index_of(isp)];
+    table.add_row({std::string(to_string(isp)), std::to_string(pf.devices),
+                   TextTable::num(kPaperPrevalence[index_of(isp)], 1) + "%",
+                   TextTable::percent(pf.prevalence()), TextTable::num(pf.frequency(), 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\npaper ordering B > A > C: %s\n",
+              by_isp[1].prevalence() > by_isp[0].prevalence() &&
+                      by_isp[0].prevalence() > by_isp[2].prevalence()
+                  ? "reproduced"
+                  : "NOT reproduced");
+  return 0;
+}

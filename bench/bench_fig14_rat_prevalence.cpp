@@ -1,0 +1,28 @@
+// Figure 14: prevalence of cellular failures on 2G/3G/4G/5G base stations —
+// the counter-intuitive 3G dip ("idle" 3G infrastructure).
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 14", "failure prevalence by BS radio access technology");
+  const Aggregator agg(result.dataset);
+  const auto by_rat = agg.bs_prevalence_by_rat();
+
+  Series series;
+  series.name = "fraction of RAT-capable BSes with >= 1 failure";
+  for (Rat rat : kAllRats) {
+    series.labels.push_back(std::string(to_string(rat)));
+    series.values.push_back(by_rat[index_of(rat)]);
+  }
+  std::fputs(render_series(series).c_str(), stdout);
+
+  std::printf("\npaper shape: 3G below both 2G and 4G: %s\n",
+              by_rat[index_of(Rat::k3G)] < by_rat[index_of(Rat::k2G)] &&
+                      by_rat[index_of(Rat::k3G)] < by_rat[index_of(Rat::k4G)]
+                  ? "reproduced"
+                  : "NOT reproduced");
+  return 0;
+}

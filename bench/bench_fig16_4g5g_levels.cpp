@@ -1,0 +1,31 @@
+// Figure 16: normalized prevalence of cellular failures for different 4G/5G
+// signal levels — 5G consistently riskier than 4G at equal levels.
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 16", "normalized prevalence per 4G/5G signal level");
+  const Aggregator agg(result.dataset);
+  const auto norm = agg.normalized_prevalence_by_rat_level();
+
+  for (Rat rat : {Rat::k4G, Rat::k5G}) {
+    Series series;
+    series.name = std::string(to_string(rat)) + " normalized prevalence per level";
+    for (std::size_t l = 0; l < kSignalLevelCount; ++l) {
+      series.labels.push_back("level " + std::to_string(l));
+      series.values.push_back(norm[index_of(rat)][l]);
+    }
+    std::fputs(render_series(series, true, 4).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  int riskier = 0;
+  for (std::size_t l = 0; l < kSignalLevelCount; ++l) {
+    if (norm[index_of(Rat::k5G)][l] > norm[index_of(Rat::k4G)][l]) ++riskier;
+  }
+  std::printf("levels where 5G is riskier than 4G: %d / 6 (paper: all)\n", riskier);
+  return 0;
+}

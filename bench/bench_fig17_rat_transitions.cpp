@@ -1,0 +1,45 @@
+// Figure 17 (a-f): increase of normalized prevalence of cellular failures
+// for RAT transitions from level-i to level-j cells, one heatmap per RAT
+// pair. Deeper shade = larger increase; the paper's dark cells sit at j = 0.
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 17", "failure-risk increase per RAT transition (i -> j)");
+  const Aggregator agg(result.dataset);
+
+  const std::array<std::pair<Rat, Rat>, 6> panels = {{
+      {Rat::k2G, Rat::k3G},  // (a)
+      {Rat::k2G, Rat::k4G},  // (b)
+      {Rat::k2G, Rat::k5G},  // (c)
+      {Rat::k3G, Rat::k4G},  // (d)
+      {Rat::k3G, Rat::k5G},  // (e)
+      {Rat::k4G, Rat::k5G},  // (f)
+  }};
+  const char* names[] = {"(a)", "(b)", "(c)", "(d)", "(e)", "(f)"};
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    const auto [from, to] = panels[p];
+    const auto matrix = agg.transition_increase(from, to);
+    const std::string title = std::string(names[p]) + " " + std::string(to_string(from)) +
+                              " level-i -> " + std::string(to_string(to)) + " level-j";
+    std::fputs(render_transition_matrix(matrix, title).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  const auto f = agg.transition_increase(Rat::k4G, Rat::k5G);
+  double worst = 0.0;
+  int worst_i = 0;
+  for (int i = 1; i <= 4; ++i) {
+    if (f[i][0] > worst) {
+      worst = f[i][0];
+      worst_i = i;
+    }
+  }
+  std::printf("panel (f) darkest level-0 cell: i=%d -> j=0 with +%.2f "
+              "(paper: i=4 -> j=0 with +0.37)\n",
+              worst_i, worst);
+  return 0;
+}

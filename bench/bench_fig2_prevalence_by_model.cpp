@@ -1,0 +1,32 @@
+// Figure 2: prevalence of cellular failures on each model of phones.
+
+#include "bench_common.h"
+#include "device/phone_model.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 2", "prevalence of cellular failures per phone model");
+  const Aggregator agg(result.dataset);
+  const auto by_model = agg.by_model();
+
+  Series measured;
+  measured.name = "prevalence by model (measured; paper range 0.15%-45%)";
+  for (const auto& spec : phone_models()) {
+    measured.labels.push_back("model " + std::to_string(spec.model_id));
+    const auto it = by_model.find(spec.model_id);
+    measured.values.push_back(it != by_model.end() ? it->second.prevalence() : 0.0);
+  }
+  std::fputs(render_series(measured).c_str(), stdout);
+
+  // Correlation against the paper's per-model column (shape check).
+  std::vector<double> paper, meas;
+  for (const auto& spec : phone_models()) {
+    paper.push_back(spec.paper_prevalence);
+    const auto it = by_model.find(spec.model_id);
+    meas.push_back(it != by_model.end() ? it->second.prevalence() : 0.0);
+  }
+  std::printf("\ncorrelation(paper, measured) = %.3f\n", pearson_correlation(paper, meas));
+  return 0;
+}

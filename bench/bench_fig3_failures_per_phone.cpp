@@ -1,0 +1,37 @@
+// Figure 3: number of cellular failures happening to a single phone — CDFs
+// of total and per-type counts among failing devices, plus the headline
+// per-device means (16 setup / 14 stall / 3 OOS, avg 33).
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 3", "failures per phone: CDF and per-type means");
+  const Aggregator agg(result.dataset);
+  const auto counts = agg.per_device_counts();
+  const auto means = agg.mean_failures_per_device_by_type();
+
+  std::printf("CDF of failures per failing phone (total):\n%s\n",
+              render_cdf(counts.total, default_cdf_quantiles()).c_str());
+  for (FailureType type : {FailureType::kDataSetupError, FailureType::kDataStall,
+                           FailureType::kOutOfService}) {
+    std::printf("CDF per failing phone, %s:\n%s\n",
+                std::string(to_string(type)).c_str(),
+                render_cdf(counts.by_type[index_of(type)], default_cdf_quantiles()).c_str());
+  }
+
+  const std::vector<Comparison> rows = {
+      {"mean Data_Setup_Error / device", 16.0 * 0.23,
+       means[index_of(FailureType::kDataSetupError)], "events (paper col scaled x prev)"},
+      {"mean Data_Stall / device", 14.0 * 0.23, means[index_of(FailureType::kDataStall)],
+       "events"},
+      {"mean Out_of_Service / device", 3.0 * 0.23,
+       means[index_of(FailureType::kOutOfService)], "events"},
+      {"max failures on one phone", 198'228.0, counts.total.max(),
+       "events (scale-limited; shape only)"},
+  };
+  std::fputs(render_comparisons(rows).c_str(), stdout);
+  return 0;
+}

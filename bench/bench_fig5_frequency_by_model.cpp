@@ -1,0 +1,28 @@
+// Figure 5: frequency of cellular failures on each model of phones.
+
+#include "bench_common.h"
+#include "device/phone_model.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figure 5", "frequency of cellular failures per phone model");
+  const Aggregator agg(result.dataset);
+  const auto by_model = agg.by_model();
+
+  Series measured;
+  measured.name = "frequency by model (measured; paper range 2.3-90.2)";
+  std::vector<double> paper, meas;
+  for (const auto& spec : phone_models()) {
+    measured.labels.push_back("model " + std::to_string(spec.model_id));
+    const auto it = by_model.find(spec.model_id);
+    const double f = it != by_model.end() ? it->second.frequency() : 0.0;
+    measured.values.push_back(f);
+    paper.push_back(spec.paper_frequency);
+    meas.push_back(f);
+  }
+  std::fputs(render_series(measured, true, 1).c_str(), stdout);
+  std::printf("\ncorrelation(paper, measured) = %.3f\n", pearson_correlation(paper, meas));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figures 6 & 7: prevalence and frequency of cellular failures on models
+// with vs without the 5G module (plus the Android-10-only fair comparison
+// of the paper's footnote 4).
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figures 6/7", "5G vs non-5G prevalence and frequency");
+  const Aggregator agg(result.dataset);
+  const auto all = agg.by_5g_capability();
+  const auto fair = agg.by_5g_capability(/*android10_only=*/true);
+
+  TextTable table({"cohort", "devices", "prevalence", "frequency"});
+  table.add_row({"non-5G models", std::to_string(all[0].devices),
+                 TextTable::percent(all[0].prevalence()), TextTable::num(all[0].frequency(), 1)});
+  table.add_row({"5G models", std::to_string(all[1].devices),
+                 TextTable::percent(all[1].prevalence()), TextTable::num(all[1].frequency(), 1)});
+  table.add_row({"non-5G (Android 10 only)", std::to_string(fair[0].devices),
+                 TextTable::percent(fair[0].prevalence()),
+                 TextTable::num(fair[0].frequency(), 1)});
+  table.add_row({"5G (Android 10 only)", std::to_string(fair[1].devices),
+                 TextTable::percent(fair[1].prevalence()),
+                 TextTable::num(fair[1].frequency(), 1)});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\npaper shape: both prevalence and frequency higher on 5G phones "
+              "(here: prevalence %+.1f%%, frequency %+.1f)\n",
+              (all[1].prevalence() - all[0].prevalence()) * 100.0,
+              all[1].frequency() - all[0].frequency());
+  return 0;
+}

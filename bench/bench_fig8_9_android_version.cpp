@@ -1,0 +1,27 @@
+// Figures 8 & 9: prevalence and frequency of cellular failures by Android
+// version (9 vs 10), with the fair comparison excluding 5G models.
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Figures 8/9", "Android 9 vs Android 10 prevalence/frequency");
+  const Aggregator agg(result.dataset);
+  const auto all = agg.by_android_version();
+  const auto fair = agg.by_android_version(/*exclude_5g=*/true);
+
+  TextTable table({"cohort", "devices", "prevalence", "frequency"});
+  table.add_row({"Android 9", std::to_string(all[0].devices),
+                 TextTable::percent(all[0].prevalence()), TextTable::num(all[0].frequency(), 1)});
+  table.add_row({"Android 10", std::to_string(all[1].devices),
+                 TextTable::percent(all[1].prevalence()), TextTable::num(all[1].frequency(), 1)});
+  table.add_row({"Android 10 (non-5G only)", std::to_string(fair[1].devices),
+                 TextTable::percent(fair[1].prevalence()),
+                 TextTable::num(fair[1].frequency(), 1)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\npaper shape: Android 10 worse on both axes (here prevalence %+.1f%%)\n",
+              (all[1].prevalence() - all[0].prevalence()) * 100.0);
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot simulation and
+// analysis paths. These guard the bench-scale campaign runtimes.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/aggregate.h"
+#include "common/rng.h"
+#include "core/prober.h"
+#include "net/tcp_stats.h"
+#include "sim/event_queue.h"
+#include "workload/campaign.h"
+
+namespace cellrel {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    std::uint64_t fired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(SimTime::from_seconds(static_cast<double>(i % 97)),
+                      [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_RngLognormal(benchmark::State& state) {
+  Rng rng(42);
+  double sink = 0.0;
+  for (auto _ : state) sink += rng.lognormal(0.0, 1.1);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngLognormal);
+
+void BM_TcpWindowAccounting(benchmark::State& state) {
+  TcpSegmentCounters tcp;
+  SimTime t = SimTime::origin();
+  for (auto _ : state) {
+    t += SimDuration::seconds(1.0);
+    tcp.on_segment_sent(t);
+    benchmark::DoNotOptimize(tcp.stall_suspected(t));
+  }
+}
+BENCHMARK(BM_TcpWindowAccounting);
+
+void BM_ProberEpisode(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    NetworkStack stack(sim, Rng{7});
+    stack.inject_fault(NetworkFault::kNetworkStall);
+    sim.schedule_after(SimDuration::seconds(40.0),
+                       [&] { stack.inject_fault(NetworkFault::kNone); });
+    NetworkStateProber prober(sim, stack);
+    bool done = false;
+    prober.start(SimTime::origin(), [&](const NetworkStateProber::Report&) { done = true; });
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_ProberEpisode);
+
+void BM_SmallCampaign(benchmark::State& state) {
+  for (auto _ : state) {
+    Scenario sc;
+    sc.device_count = static_cast<std::uint32_t>(state.range(0));
+    sc.deployment.bs_count = 1000;
+    sc.seed = 5;
+    Campaign campaign(sc);
+    const CampaignResult r = campaign.run();
+    benchmark::DoNotOptimize(r.dataset.records.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SmallCampaign)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_Aggregation(benchmark::State& state) {
+  Scenario sc;
+  sc.device_count = 400;
+  sc.deployment.bs_count = 1500;
+  Campaign campaign(sc);
+  const CampaignResult r = campaign.run();
+  for (auto _ : state) {
+    const Aggregator agg(r.dataset);
+    benchmark::DoNotOptimize(agg.overall().failures);
+    benchmark::DoNotOptimize(agg.normalized_prevalence_by_level());
+    benchmark::DoNotOptimize(agg.by_model().size());
+  }
+}
+BENCHMARK(BM_Aggregation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cellrel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+// Table 2: the top-10 most common Data_Setup_Error codes after removing
+// false positives, with their percentages (paper: top-10 = 46.7%).
+
+#include "bench_common.h"
+
+using namespace cellrel;
+
+namespace {
+constexpr struct {
+  FailCause cause;
+  double percent;
+} kPaper[] = {
+    {FailCause::kGprsRegistrationFail, 12.8}, {FailCause::kSignalLost, 7.2},
+    {FailCause::kNoService, 6.5},             {FailCause::kInvalidEmmState, 4.9},
+    {FailCause::kUnpreferredRat, 4.3},        {FailCause::kPppTimeout, 3.5},
+    {FailCause::kNoHybridHdrService, 2.2},    {FailCause::kPdpLowerlayerError, 1.9},
+    {FailCause::kMaxAccessProbe, 1.8},        {FailCause::kIratHandoverFailed, 1.6},
+};
+}  // namespace
+
+int main() {
+  const CampaignResult result =
+      bench::run_measurement("Table 2", "top-10 Data_Setup_Error codes (false positives removed)");
+  const Aggregator agg(result.dataset);
+  const auto codes = agg.top_error_codes(10);
+
+  TextTable table({"rank", "error code", "layer", "paper %", "measured %"});
+  double measured_top10 = 0.0;
+  const auto& catalog = FailCauseCatalog::instance();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    double paper = 0.0;
+    for (const auto& row : kPaper) {
+      if (row.cause == codes[i].cause) paper = row.percent;
+    }
+    measured_top10 += codes[i].percent;
+    table.add_row({std::to_string(i + 1), std::string(to_string(codes[i].cause)),
+                   std::string(to_string(catalog.info(codes[i].cause).layer)),
+                   paper > 0.0 ? TextTable::num(paper, 1) + "%" : "-",
+                   TextTable::num(codes[i].percent, 1) + "%"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\ntop-10 total: %.1f%% (paper: 46.7%%)\n", measured_top10);
+
+  // How many of the paper's top-10 made our top-10 (rank-set overlap)?
+  int overlap = 0;
+  for (const auto& row : kPaper) {
+    for (const auto& c : codes) {
+      if (c.cause == row.cause) ++overlap;
+    }
+  }
+  std::printf("overlap with the paper's top-10 set: %d / 10\n", overlap);
+  return 0;
+}

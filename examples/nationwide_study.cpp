@@ -1,0 +1,92 @@
+// Nationwide measurement study, end to end: runs the full campaign, then
+// prints the §3 analysis in one pass — general statistics, the Android
+// phone landscape, and the ISP/BS landscape — the way the paper's
+// measurement section reads.
+//
+// Usage: nationwide_study [device_count] [bs_count] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/aggregate.h"
+#include "analysis/report.h"
+#include "workload/campaign.h"
+
+using namespace cellrel;
+
+int main(int argc, char** argv) {
+  Scenario sc;
+  sc.name = "nationwide";
+  sc.device_count = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 5000;
+  sc.deployment.bs_count = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 10'000;
+  sc.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 20200101;
+
+  std::printf("=== Nationwide cellular-reliability study (simulated) ===\n");
+  std::printf("fleet: %u devices, %u base stations, %.0f days\n\n", sc.device_count,
+              sc.deployment.bs_count, sc.campaign_days);
+  Campaign campaign(sc);
+  const CampaignResult result = campaign.run();
+  const Aggregator agg(result.dataset);
+
+  // --- §3.1 general statistics ---
+  std::printf("--- General statistics (cf. §3.1) ---\n");
+  const auto overall = agg.overall();
+  std::printf("recorded failures: %llu across %llu devices (%llu failing)\n",
+              static_cast<unsigned long long>(overall.failures),
+              static_cast<unsigned long long>(overall.devices),
+              static_cast<unsigned long long>(overall.failing_devices));
+  std::printf("prevalence %.1f%% (paper ~23%%), frequency %.1f (paper ~33)\n",
+              overall.prevalence() * 100.0, overall.frequency());
+  const auto means = agg.mean_failures_per_device_by_type();
+  std::printf("per-device means: setup %.1f / stall %.1f / oos %.1f (paper 16/14/3 x prev)\n",
+              means[index_of(FailureType::kDataSetupError)],
+              means[index_of(FailureType::kDataStall)],
+              means[index_of(FailureType::kOutOfService)]);
+  const SampleSet durations = agg.durations_all();
+  const auto share = agg.duration_share_by_type();
+  std::printf("mean duration %.0f s (paper 188 s), <30 s: %.1f%% (paper 70.8%%), "
+              "stall duration share %.1f%% (paper 94%%)\n\n",
+              durations.mean(), durations.fraction_below(30.0) * 100.0,
+              share[index_of(FailureType::kDataStall)] * 100.0);
+
+  // --- §3.2 phone landscape ---
+  std::printf("--- Android phone landscape (cf. §3.2) ---\n");
+  const auto by5g = agg.by_5g_capability();
+  std::printf("5G phones: prevalence %.1f%% vs non-5G %.1f%%; frequency %.1f vs %.1f\n",
+              by5g[1].prevalence() * 100.0, by5g[0].prevalence() * 100.0,
+              by5g[1].frequency(), by5g[0].frequency());
+  const auto by_android = agg.by_android_version(/*exclude_5g=*/true);
+  std::printf("Android 10 (non-5G): prevalence %.1f%% vs Android 9 %.1f%%\n",
+              by_android[1].prevalence() * 100.0, by_android[0].prevalence() * 100.0);
+  const auto codes = agg.top_error_codes(10);
+  double top10 = 0.0;
+  for (const auto& c : codes) top10 += c.percent;
+  std::printf("top Data_Setup_Error code: %s (%.1f%%); top-10 total %.1f%% (paper 46.7%%)\n\n",
+              std::string(to_string(codes.front().cause)).c_str(), codes.front().percent,
+              top10);
+
+  // --- §3.3 ISP / BS landscape ---
+  std::printf("--- ISP and base-station landscape (cf. §3.3) ---\n");
+  const auto by_isp = agg.by_isp();
+  for (IspId isp : kAllIsps) {
+    std::printf("%s: prevalence %.1f%%  ", std::string(to_string(isp)).c_str(),
+                by_isp[index_of(isp)].prevalence() * 100.0);
+  }
+  std::printf("(paper: B 27.1 > A 20.1 > C 14.7)\n");
+  const auto fit = agg.bs_zipf_fit();
+  const auto bs_stats = agg.bs_ranking_stats();
+  std::printf("BS failure ranking: Zipf a=%.2f (paper 0.82), median %llu, mean %.0f\n",
+              fit.a, static_cast<unsigned long long>(bs_stats.median), bs_stats.mean);
+  const auto by_rat = agg.bs_prevalence_by_rat();
+  std::printf("BS prevalence by RAT: 2G %.2f, 3G %.2f (dip), 4G %.2f, 5G %.2f\n",
+              by_rat[0], by_rat[1], by_rat[2], by_rat[3]);
+  const auto norm = agg.normalized_prevalence_by_level();
+  std::printf("normalized prevalence by level: ");
+  for (std::size_t l = 0; l < kSignalLevelCount; ++l) std::printf("L%zu=%.3f ", l, norm[l]);
+  std::printf("(level-5 anomaly: %s)\n", norm[5] > norm[4] ? "present" : "absent");
+
+  std::printf("\nfilter quality: precision %.3f recall %.3f over %zu records\n",
+              agg.filter_score().precision(), agg.filter_score().recall(),
+              result.dataset.records.size());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: run a small measurement campaign and print headline stats.
+//
+// Demonstrates the public API end to end: configure a scenario, run the
+// campaign (fleet -> telephony stack -> Android-MOD monitoring -> backend
+// dataset), and aggregate the collected traces.
+//
+// Usage: quickstart [device_count] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/aggregate.h"
+#include "analysis/report.h"
+#include "workload/campaign.h"
+
+using namespace cellrel;
+
+int main(int argc, char** argv) {
+  Scenario scenario;
+  scenario.name = "quickstart";
+  scenario.device_count = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 2000;
+  scenario.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+  scenario.deployment.bs_count = 5000;
+  scenario.campaign_days = 240.0;
+
+  std::printf("Running campaign '%s': %u devices, %.0f days, %u base stations...\n",
+              scenario.name.c_str(), scenario.device_count, scenario.campaign_days,
+              scenario.deployment.bs_count);
+
+  Campaign campaign(scenario);
+  const CampaignResult result = campaign.run();
+
+  const Aggregator agg(result.dataset);
+  const PrevalenceFrequency overall = agg.overall();
+  const auto by_type = agg.mean_failures_per_device_by_type();
+  const SampleSet durations = agg.durations_all();
+  const auto duration_share = agg.duration_share_by_type();
+
+  std::printf("\n=== Campaign summary ===\n");
+  std::printf("devices: %llu   failing: %llu   kept failures: %llu\n",
+              static_cast<unsigned long long>(overall.devices),
+              static_cast<unsigned long long>(overall.failing_devices),
+              static_cast<unsigned long long>(overall.failures));
+  std::printf("episodes run: %llu   simulated events: %llu\n",
+              static_cast<unsigned long long>(result.episodes_run),
+              static_cast<unsigned long long>(result.simulated_events));
+  std::printf("prevalence: %.1f%%  (paper: ~23%%)\n", overall.prevalence() * 100.0);
+  std::printf("frequency:  %.1f failures per failing device (paper: ~33)\n",
+              overall.frequency());
+  std::printf("mean failures/device by type: setup=%.1f stall=%.1f oos=%.1f\n",
+              by_type[index_of(FailureType::kDataSetupError)],
+              by_type[index_of(FailureType::kDataStall)],
+              by_type[index_of(FailureType::kOutOfService)]);
+  std::printf("mean duration: %.0f s (paper: 188 s);  <30 s: %.1f%% (paper: 70.8%%)\n",
+              durations.mean(), durations.fraction_below(30.0) * 100.0);
+  std::printf("Data_Stall share of total duration: %.1f%% (paper: 94%%)\n",
+              duration_share[index_of(FailureType::kDataStall)] * 100.0);
+
+  const auto score = agg.filter_score();
+  std::printf("false-positive filter: precision %.3f recall %.3f\n", score.precision(),
+              score.recall());
+
+  std::printf("\nDuration CDF (seconds):\n%s",
+              render_cdf(durations, default_cdf_quantiles()).c_str());
+  return 0;
+}

@@ -1,0 +1,84 @@
+// RAT-policy comparison on a single simulated 5G device: shows, cell by
+// cell, what Android 10's blind 5G preference picks versus the paper's
+// stability-compatible policy, and the failure risk implied by each choice.
+//
+// Usage: rat_policy_comparison [scenarios]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "telephony/rat_policy.h"
+
+using namespace cellrel;
+
+namespace {
+
+const char* describe(const std::optional<CellCandidate>& c) {
+  static char buf[64];
+  if (!c) return "(none)";
+  std::snprintf(buf, sizeof(buf), "%s level-%zu @BS%u", std::string(to_string(c->rat)).c_str(),
+                index_of(c->level), c->bs);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int scenarios = argc > 1 ? std::atoi(argv[1]) : 12;
+  Rng rng(2021);
+  Android10Policy vanilla;
+  StabilityCompatiblePolicy stability;
+  const RatLevelRiskTable& risk = default_risk_table();
+
+  std::printf("candidate sets a moving 5G phone encounters, and each policy's pick:\n\n");
+  double risk_vanilla = 0.0, risk_stability = 0.0;
+  for (int s = 0; s < scenarios; ++s) {
+    // Synthesize a plausible candidate set: a 4G cell, sometimes a second
+    // 4G/3G cell, and sometimes an NR cell whose level skews low (coverage
+    // edge).
+    std::vector<CellCandidate> candidates;
+    candidates.push_back({static_cast<BsIndex>(s * 3),
+                          Rat::k4G,
+                          signal_level_from_index(static_cast<std::size_t>(
+                              rng.uniform_int(2, 4)))});
+    if (rng.bernoulli(0.5)) {
+      candidates.push_back({static_cast<BsIndex>(s * 3 + 1), Rat::k3G,
+                            signal_level_from_index(
+                                static_cast<std::size_t>(rng.uniform_int(1, 3)))});
+    }
+    if (rng.bernoulli(0.7)) {
+      // NR at the coverage edge: level skewed toward 0-2.
+      const std::size_t level = static_cast<std::size_t>(
+          rng.bernoulli(0.5) ? 0 : rng.uniform_int(1, 2));
+      candidates.push_back(
+          {static_cast<BsIndex>(s * 3 + 2), Rat::k5G, signal_level_from_index(level)});
+    }
+
+    const auto pick_v = vanilla.choose(candidates, std::nullopt);
+    const auto pick_s = stability.choose(candidates, std::nullopt);
+    std::printf("#%02d candidates:", s);
+    for (const auto& c : candidates) {
+      std::printf(" [%s L%zu]", std::string(to_string(c.rat)).c_str(), index_of(c.level));
+    }
+    std::printf("\n     android10 -> %s", describe(pick_v));
+    if (pick_v) {
+      const double r = risk.at(pick_v->rat, pick_v->level);
+      risk_vanilla += r;
+      std::printf("  (risk %.2f)", r);
+    }
+    std::printf("\n     stability -> %s", describe(pick_s));
+    if (pick_s) {
+      const double r = risk.at(pick_s->rat, pick_s->level);
+      risk_stability += r;
+      std::printf("  (risk %.2f, rate %.0f Mbps vs %.0f Mbps)",
+                  r, nominal_data_rate_mbps(pick_s->rat, pick_s->level),
+                  pick_v ? nominal_data_rate_mbps(pick_v->rat, pick_v->level) : 0.0);
+    }
+    std::printf("\n\n");
+  }
+  std::printf("cumulative failure risk: android10 %.2f vs stability %.2f (%.0f%% lower)\n",
+              risk_vanilla, risk_stability,
+              risk_vanilla > 0 ? (1.0 - risk_stability / risk_vanilla) * 100.0 : 0.0);
+  std::printf("\nthe paper's deployment of this policy cut 5G-phone failures by 40.3%%\n");
+  return 0;
+}

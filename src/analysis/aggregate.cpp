@@ -1,0 +1,320 @@
+#include "analysis/aggregate.h"
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cellrel {
+
+double Aggregator::FilterScore::precision() const {
+  const auto denom = true_positives + false_positives;
+  return denom ? static_cast<double>(true_positives) / static_cast<double>(denom) : 0.0;
+}
+
+double Aggregator::FilterScore::recall() const {
+  const auto denom = true_positives + false_negatives;
+  return denom ? static_cast<double>(true_positives) / static_cast<double>(denom) : 0.0;
+}
+
+Aggregator::Aggregator(const TraceDataset& dataset) : data_(dataset) {}
+
+namespace {
+
+/// Kept-failure counts per device id.
+std::unordered_map<DeviceId, std::uint64_t> kept_counts(const TraceDataset& data) {
+  std::unordered_map<DeviceId, std::uint64_t> counts;
+  data.for_each_kept([&](const TraceRecord& r) { ++counts[r.device]; });
+  return counts;
+}
+
+}  // namespace
+
+PrevalenceFrequency Aggregator::overall() const {
+  const auto counts = kept_counts(data_);
+  PrevalenceFrequency pf;
+  pf.devices = data_.devices.size();
+  for (const auto& [id, c] : counts) {
+    ++pf.failing_devices;
+    pf.failures += c;
+  }
+  return pf;
+}
+
+std::map<int, PrevalenceFrequency> Aggregator::by_model() const {
+  std::unordered_map<DeviceId, int> model_of;
+  model_of.reserve(data_.devices.size());
+  std::map<int, PrevalenceFrequency> out;
+  for (const auto& d : data_.devices) {
+    model_of[d.id] = d.model_id;
+    ++out[d.model_id].devices;
+  }
+  const auto counts = kept_counts(data_);
+  for (const auto& [id, c] : counts) {
+    const auto it = model_of.find(id);
+    if (it == model_of.end()) continue;
+    auto& pf = out[it->second];
+    ++pf.failing_devices;
+    pf.failures += c;
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Classify>
+void slice_devices(const TraceDataset& data, Classify classify,
+                   std::span<PrevalenceFrequency> out) {
+  std::unordered_map<DeviceId, int> bucket_of;
+  bucket_of.reserve(data.devices.size());
+  for (const auto& d : data.devices) {
+    const int b = classify(d);
+    if (b < 0) continue;
+    bucket_of[d.id] = b;
+    ++out[static_cast<std::size_t>(b)].devices;
+  }
+  std::unordered_map<DeviceId, std::uint64_t> counts = kept_counts(data);
+  for (const auto& [id, c] : counts) {
+    const auto it = bucket_of.find(id);
+    if (it == bucket_of.end()) continue;
+    auto& pf = out[static_cast<std::size_t>(it->second)];
+    ++pf.failing_devices;
+    pf.failures += c;
+  }
+}
+
+}  // namespace
+
+std::array<PrevalenceFrequency, 2> Aggregator::by_5g_capability(bool android10_only) const {
+  std::array<PrevalenceFrequency, 2> out{};
+  slice_devices(
+      data_,
+      [android10_only](const DeviceMeta& d) {
+        if (android10_only && d.android != AndroidVersion::kAndroid10) return -1;
+        return d.has_5g ? 1 : 0;
+      },
+      out);
+  return out;
+}
+
+std::array<PrevalenceFrequency, 2> Aggregator::by_android_version(bool exclude_5g) const {
+  std::array<PrevalenceFrequency, 2> out{};
+  slice_devices(
+      data_,
+      [exclude_5g](const DeviceMeta& d) {
+        if (exclude_5g && d.has_5g) return -1;
+        return d.android == AndroidVersion::kAndroid10 ? 1 : 0;
+      },
+      out);
+  return out;
+}
+
+std::array<PrevalenceFrequency, kIspCount> Aggregator::by_isp() const {
+  std::array<PrevalenceFrequency, kIspCount> out{};
+  slice_devices(data_, [](const DeviceMeta& d) { return static_cast<int>(index_of(d.isp)); },
+                out);
+  return out;
+}
+
+std::array<double, kFailureTypeCount> Aggregator::mean_failures_per_device_by_type() const {
+  std::array<double, kFailureTypeCount> out{};
+  if (data_.devices.empty()) return out;
+  data_.for_each_kept([&](const TraceRecord& r) { out[index_of(r.type)] += 1.0; });
+  for (auto& v : out) v /= static_cast<double>(data_.devices.size());
+  return out;
+}
+
+Aggregator::PerDeviceCounts Aggregator::per_device_counts() const {
+  std::unordered_map<DeviceId, std::array<std::uint64_t, kFailureTypeCount>> counts;
+  data_.for_each_kept([&](const TraceRecord& r) { ++counts[r.device][index_of(r.type)]; });
+  PerDeviceCounts out;
+  for (const auto& [id, per_type] : counts) {
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+      total += per_type[t];
+      if (per_type[t] > 0) out.by_type[t].add(static_cast<double>(per_type[t]));
+    }
+    out.total.add(static_cast<double>(total));
+  }
+  return out;
+}
+
+SampleSet Aggregator::durations_all() const {
+  SampleSet s;
+  data_.for_each_kept([&](const TraceRecord& r) { s.add(r.duration.to_seconds()); });
+  return s;
+}
+
+SampleSet Aggregator::durations_of(FailureType type) const {
+  SampleSet s;
+  data_.for_each_kept([&](const TraceRecord& r) {
+    if (r.type == type) s.add(r.duration.to_seconds());
+  });
+  return s;
+}
+
+std::array<double, kFailureTypeCount> Aggregator::duration_share_by_type() const {
+  std::array<double, kFailureTypeCount> sums{};
+  double total = 0.0;
+  data_.for_each_kept([&](const TraceRecord& r) {
+    const double d = r.duration.to_seconds();
+    sums[index_of(r.type)] += d;
+    total += d;
+  });
+  if (total > 0.0) {
+    for (auto& v : sums) v /= total;
+  }
+  return sums;
+}
+
+ZipfFit Aggregator::bs_zipf_fit() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(data_.base_stations.size());
+  for (const auto& bs : data_.base_stations) counts.push_back(bs.failure_count);
+  return fit_zipf(counts);
+}
+
+Aggregator::BsRankingStats Aggregator::bs_ranking_stats() const {
+  BsRankingStats st;
+  std::vector<std::uint64_t> counts;
+  counts.reserve(data_.base_stations.size());
+  for (const auto& bs : data_.base_stations) {
+    counts.push_back(bs.failure_count);
+    if (bs.failure_count > 0) ++st.with_failures;
+  }
+  st.total = counts.size();
+  if (counts.empty()) return st;
+  std::sort(counts.begin(), counts.end());
+  st.median = counts[counts.size() / 2];
+  st.max = counts.back();
+  double sum = 0.0;
+  for (auto c : counts) sum += static_cast<double>(c);
+  st.mean = sum / static_cast<double>(counts.size());
+  return st;
+}
+
+std::array<double, kRatCount> Aggregator::bs_prevalence_by_rat() const {
+  std::array<std::uint64_t, kRatCount> total{};
+  std::array<std::uint64_t, kRatCount> failing{};
+  for (const auto& bs : data_.base_stations) {
+    for (Rat rat : kAllRats) {
+      if (bs.rat_mask & (1u << index_of(rat))) {
+        ++total[index_of(rat)];
+        if (bs.failure_count > 0) ++failing[index_of(rat)];
+      }
+    }
+  }
+  std::array<double, kRatCount> out{};
+  for (std::size_t r = 0; r < kRatCount; ++r) {
+    out[r] = total[r] ? static_cast<double>(failing[r]) / static_cast<double>(total[r]) : 0.0;
+  }
+  return out;
+}
+
+std::array<double, kSignalLevelCount> Aggregator::normalized_prevalence_by_level() const {
+  // Devices with >= 1 kept failure at each level.
+  std::array<std::unordered_set<DeviceId>, kSignalLevelCount> failing;
+  data_.for_each_kept(
+      [&](const TraceRecord& r) { failing[index_of(r.level)].insert(r.device); });
+  std::array<double, kSignalLevelCount> out{};
+  const double n = static_cast<double>(data_.devices.size());
+  if (n == 0.0) return out;
+  for (std::size_t l = 0; l < kSignalLevelCount; ++l) {
+    const double prevalence = static_cast<double>(failing[l].size()) / n;
+    // Mean connected hours per device at this level.
+    const double hours = data_.connected_time.level_total(signal_level_from_index(l)) / n / 3600.0;
+    out[l] = hours > 0.0 ? prevalence / hours : 0.0;
+  }
+  return out;
+}
+
+std::array<std::array<double, kSignalLevelCount>, kRatCount>
+Aggregator::normalized_prevalence_by_rat_level() const {
+  std::array<std::array<std::unordered_set<DeviceId>, kSignalLevelCount>, kRatCount> failing;
+  data_.for_each_kept([&](const TraceRecord& r) {
+    failing[index_of(r.rat)][index_of(r.level)].insert(r.device);
+  });
+  std::array<std::array<double, kSignalLevelCount>, kRatCount> out{};
+  const double n = static_cast<double>(data_.devices.size());
+  if (n == 0.0) return out;
+  for (std::size_t rt = 0; rt < kRatCount; ++rt) {
+    for (std::size_t l = 0; l < kSignalLevelCount; ++l) {
+      const double prevalence = static_cast<double>(failing[rt][l].size()) / n;
+      const double hours =
+          data_.connected_time.seconds[rt][l] / n / 3600.0;
+      out[rt][l] = hours > 0.0 ? prevalence / hours : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<Aggregator::ErrorCodeShare> Aggregator::top_error_codes(std::size_t n) const {
+  std::unordered_map<std::int32_t, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  data_.for_each_kept([&](const TraceRecord& r) {
+    if (r.type != FailureType::kDataSetupError) return;
+    ++counts[static_cast<std::int32_t>(r.cause)];
+    ++total;
+  });
+  std::vector<ErrorCodeShare> out;
+  out.reserve(counts.size());
+  for (const auto& [code, c] : counts) {
+    ErrorCodeShare s;
+    s.cause = static_cast<FailCause>(code);
+    s.count = c;
+    s.percent = total ? 100.0 * static_cast<double>(c) / static_cast<double>(total) : 0.0;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ErrorCodeShare& a, const ErrorCodeShare& b) { return a.count > b.count; });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+Aggregator::TransitionMatrix Aggregator::transition_increase(Rat from_rat, Rat to_rat) const {
+  // Baseline failure rate while dwelling at (from_rat, level i).
+  std::array<std::uint64_t, kSignalLevelCount> dwell_total{};
+  std::array<std::uint64_t, kSignalLevelCount> dwell_fail{};
+  for (const auto& d : data_.dwells) {
+    if (d.rat != from_rat) continue;
+    ++dwell_total[index_of(d.level)];
+    if (d.failure_within_window) ++dwell_fail[index_of(d.level)];
+  }
+  std::array<std::array<std::uint64_t, kSignalLevelCount>, kSignalLevelCount> trans_total{};
+  std::array<std::array<std::uint64_t, kSignalLevelCount>, kSignalLevelCount> trans_fail{};
+  for (const auto& t : data_.transitions) {
+    if (t.from_rat != from_rat || t.to_rat != to_rat) continue;
+    ++trans_total[index_of(t.from_level)][index_of(t.to_level)];
+    if (t.failure_within_window) ++trans_fail[index_of(t.from_level)][index_of(t.to_level)];
+  }
+  TransitionMatrix m{};
+  for (std::size_t i = 0; i < kSignalLevelCount; ++i) {
+    const double baseline =
+        dwell_total[i] ? static_cast<double>(dwell_fail[i]) / static_cast<double>(dwell_total[i])
+                       : 0.0;
+    for (std::size_t j = 0; j < kSignalLevelCount; ++j) {
+      if (trans_total[i][j] == 0) {
+        m[i][j] = 0.0;
+        continue;
+      }
+      const double rate =
+          static_cast<double>(trans_fail[i][j]) / static_cast<double>(trans_total[i][j]);
+      m[i][j] = rate - baseline;
+    }
+  }
+  return m;
+}
+
+Aggregator::FilterScore Aggregator::filter_score() const {
+  FilterScore s;
+  for (const auto& r : data_.records) {
+    const bool truly_fp = is_false_positive(r.ground_truth_fp);
+    if (truly_fp && r.filtered_false_positive) ++s.true_positives;
+    if (truly_fp && !r.filtered_false_positive) ++s.false_negatives;
+    if (!truly_fp && r.filtered_false_positive) ++s.false_positives;
+    if (!truly_fp && !r.filtered_false_positive) ++s.true_negatives;
+  }
+  return s;
+}
+
+}  // namespace cellrel

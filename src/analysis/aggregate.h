@@ -1,0 +1,133 @@
+// Aggregation over the backend dataset: the statistics behind every table
+// and figure in §3.
+
+#ifndef CELLREL_ANALYSIS_AGGREGATE_H
+#define CELLREL_ANALYSIS_AGGREGATE_H
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+
+namespace cellrel {
+
+/// Prevalence & frequency for one device slice.
+/// Prevalence: fraction of slice devices with >= 1 kept failure.
+/// Frequency: mean number of kept failures among failing devices (matches
+/// Table 1, where per-model frequency exceeds zero even at 0.15% prevalence).
+struct PrevalenceFrequency {
+  std::uint64_t devices = 0;
+  std::uint64_t failing_devices = 0;
+  std::uint64_t failures = 0;
+  double prevalence() const {
+    return devices ? static_cast<double>(failing_devices) / static_cast<double>(devices) : 0.0;
+  }
+  double frequency() const {
+    return failing_devices ? static_cast<double>(failures) / static_cast<double>(failing_devices)
+                           : 0.0;
+  }
+};
+
+/// Per-failure-type breakdown of counts for one slice.
+struct TypeBreakdown {
+  std::array<std::uint64_t, kFailureTypeCount> counts{};
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+};
+
+class Aggregator {
+ public:
+  explicit Aggregator(const TraceDataset& dataset);
+
+  // --- Device-slice prevalence & frequency ---
+  PrevalenceFrequency overall() const;
+  /// Keyed by model_id 1..34 (Table 1, Fig. 2, Fig. 5).
+  std::map<int, PrevalenceFrequency> by_model() const;
+  /// [0]: non-5G models, [1]: 5G models (Fig. 6/7). When
+  /// `android10_only` is set, restricts to Android 10 models (the paper's
+  /// fair-comparison footnote).
+  std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false) const;
+  /// [0]: Android 9, [1]: Android 10 (Fig. 8/9). When `exclude_5g` is set,
+  /// drops 5G models (fair comparison).
+  std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false) const;
+  /// Indexed by IspId (Fig. 12/13).
+  std::array<PrevalenceFrequency, kIspCount> by_isp() const;
+
+  /// Mean kept-failure count per failure type over ALL devices (the
+  /// "16 setup / 14 stall / 3 OOS per phone" split of Fig. 3).
+  std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const;
+
+  /// Per-device kept-failure counts (the Fig. 3 CDF series), failing
+  /// devices only, per type and total.
+  struct PerDeviceCounts {
+    SampleSet total;
+    std::array<SampleSet, kFailureTypeCount> by_type;
+  };
+  PerDeviceCounts per_device_counts() const;
+
+  // --- Durations (Fig. 4, Fig. 10, Fig. 21) ---
+  SampleSet durations_all() const;
+  SampleSet durations_of(FailureType type) const;
+  /// Share of total failure duration per type (Data_Stall ~ 94%).
+  std::array<double, kFailureTypeCount> duration_share_by_type() const;
+
+  // --- BS landscape (Fig. 11, Fig. 14) ---
+  ZipfFit bs_zipf_fit() const;
+  struct BsRankingStats {
+    std::uint64_t median = 0;
+    double mean = 0.0;
+    std::uint64_t max = 0;
+    std::uint64_t with_failures = 0;
+    std::uint64_t total = 0;
+  };
+  BsRankingStats bs_ranking_stats() const;
+  /// Fraction of RAT-r-capable BSes that experienced >= 1 failure (Fig. 14).
+  std::array<double, kRatCount> bs_prevalence_by_rat() const;
+
+  // --- Signal levels (Fig. 15 / Fig. 16) ---
+  /// Normalized prevalence per level: (failing devices at level / devices)
+  /// divided by mean connected hours at that level (Fig. 15).
+  std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const;
+  /// Same, per (RAT in {4G, 5G}, level) (Fig. 16).
+  std::array<std::array<double, kSignalLevelCount>, kRatCount>
+  normalized_prevalence_by_rat_level() const;
+
+  // --- Error codes (Table 2) ---
+  struct ErrorCodeShare {
+    FailCause cause = FailCause::kUnknown;
+    std::uint64_t count = 0;
+    double percent = 0.0;  // of all kept Data_Setup_Error failures
+  };
+  std::vector<ErrorCodeShare> top_error_codes(std::size_t n = 10) const;
+
+  // --- RAT transitions (Fig. 17) ---
+  /// Cell [from_level][to_level] = P(failure | transition from_rat level i ->
+  /// to_rat level j) - P(failure | dwell at from_rat level i).
+  using TransitionMatrix = std::array<std::array<double, kSignalLevelCount>, kSignalLevelCount>;
+  TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const;
+
+  // --- Filter scoring (validation; uses ground truth) ---
+  struct FilterScore {
+    std::uint64_t true_positives = 0;   // FPs correctly filtered
+    std::uint64_t false_negatives = 0;  // FPs kept by mistake
+    std::uint64_t false_positives = 0;  // true failures wrongly filtered
+    std::uint64_t true_negatives = 0;   // true failures kept
+    double precision() const;
+    double recall() const;
+  };
+  FilterScore filter_score() const;
+
+ private:
+  const TraceDataset& data_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_ANALYSIS_AGGREGATE_H

@@ -1,0 +1,333 @@
+#include "analysis/csv_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace cellrel {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view line, char sep = ',') {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+template <typename T>
+std::optional<T> parse_number(std::string_view s) {
+  T value{};
+  const auto* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, value);
+  if (ec != std::errc{} || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view s) {
+  // std::from_chars for double is not universally available; strtod via a
+  // bounded copy keeps this portable.
+  char buf[64];
+  if (s.size() >= sizeof(buf)) return std::nullopt;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (end != buf + s.size()) return std::nullopt;
+  return v;
+}
+
+std::ofstream open_out(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("csv_io: cannot write " + path.string());
+  return out;
+}
+
+std::ifstream open_in(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("csv_io: cannot read " + path.string());
+  return in;
+}
+
+}  // namespace
+
+std::optional<FailureType> failure_type_from_string(std::string_view s) {
+  for (std::size_t i = 0; i < kFailureTypeCount; ++i) {
+    const auto t = static_cast<FailureType>(i);
+    if (to_string(t) == s) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<IspId> isp_from_string(std::string_view s) {
+  for (IspId isp : kAllIsps) {
+    if (to_string(isp) == s) return isp;
+  }
+  return std::nullopt;
+}
+
+std::optional<Rat> rat_from_string(std::string_view s) {
+  for (Rat rat : kAllRats) {
+    if (to_string(rat) == s) return rat;
+  }
+  return std::nullopt;
+}
+
+std::optional<DurationMethod> duration_method_from_string(std::string_view s) {
+  for (auto m : {DurationMethod::kNone, DurationMethod::kProbing,
+                 DurationMethod::kAndroidFallback, DurationMethod::kStateTracking}) {
+    if (to_string(m) == s) return m;
+  }
+  return std::nullopt;
+}
+
+std::optional<CellIdentity> cell_identity_from_string(std::string_view s) {
+  if (s.rfind("cdma:", 0) == 0) {
+    const auto parts = split(s.substr(5), '-');
+    if (parts.size() != 3) return std::nullopt;
+    const auto sid = parse_number<std::uint16_t>(parts[0]);
+    const auto nid = parse_number<std::uint16_t>(parts[1]);
+    const auto bid = parse_number<std::uint32_t>(parts[2]);
+    if (!sid || !nid || !bid) return std::nullopt;
+    return CellIdentity{CdmaCellId{*sid, *nid, *bid}};
+  }
+  const auto parts = split(s, '-');
+  if (parts.size() != 4) return std::nullopt;
+  const auto mcc = parse_number<std::uint16_t>(parts[0]);
+  const auto mnc = parse_number<std::uint16_t>(parts[1]);
+  const auto lac = parse_number<std::uint32_t>(parts[2]);
+  const auto cid = parse_number<std::uint32_t>(parts[3]);
+  if (!mcc || !mnc || !lac || !cid) return std::nullopt;
+  return CellIdentity{CellGlobalId{*mcc, *mnc, *lac, *cid}};
+}
+
+std::optional<TraceRecord> trace_record_from_csv(std::string_view line) {
+  // Format (trace_csv_header): device,model,isp,type,at_s,duration_s,method,
+  // rat,level,bs,cell,apn,cause,filtered,probe_rounds
+  const auto f = split(line);
+  if (f.size() != 15) return std::nullopt;
+  TraceRecord r;
+  const auto device = parse_number<std::uint64_t>(f[0]);
+  const auto model = parse_number<int>(f[1]);
+  const auto isp = isp_from_string(f[2]);
+  const auto type = failure_type_from_string(f[3]);
+  const auto at = parse_double(f[4]);
+  const auto duration = parse_double(f[5]);
+  const auto method = duration_method_from_string(f[6]);
+  const auto rat = rat_from_string(f[7]);
+  const auto level = parse_number<std::size_t>(f[8]);
+  const auto bs = parse_number<BsIndex>(f[9]);
+  const auto cell = cell_identity_from_string(f[10]);
+  const auto cause = FailCauseCatalog::instance().by_name(f[12]);
+  const auto probe_rounds = parse_number<std::uint32_t>(f[14]);
+  if (!device || !model || !isp || !type || !at || !duration || !method || !rat ||
+      !level || *level >= kSignalLevelCount || !bs || !cell || !probe_rounds) {
+    return std::nullopt;
+  }
+  r.device = *device;
+  r.model_id = *model;
+  r.isp = *isp;
+  r.type = *type;
+  r.at = SimTime::from_seconds(*at);
+  r.duration = SimDuration::seconds(*duration);
+  r.duration_method = *method;
+  r.rat = *rat;
+  r.level = signal_level_from_index(*level);
+  r.bs = *bs;
+  r.cell = *cell;
+  r.apn = std::string(f[11]);
+  r.cause = cause.value_or(FailCause::kNone);
+  if (f[13] != "0" && f[13] != "1") return std::nullopt;
+  r.filtered_false_positive = f[13] == "1";
+  r.probe_rounds = *probe_rounds;
+  return r;
+}
+
+void write_dataset_csv(const TraceDataset& dataset, const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+
+  {
+    auto out = open_out(dir / DatasetFiles::kRecords);
+    out << trace_csv_header() << '\n';
+    for (const auto& r : dataset.records) out << to_csv(r) << '\n';
+  }
+  {
+    auto out = open_out(dir / DatasetFiles::kDevices);
+    out << "device,model,isp,has_5g,android\n";
+    for (const auto& d : dataset.devices) {
+      out << d.id << ',' << d.model_id << ',' << to_string(d.isp) << ','
+          << (d.has_5g ? 1 : 0) << ',' << static_cast<int>(d.android) << '\n';
+    }
+  }
+  {
+    auto out = open_out(dir / DatasetFiles::kBaseStations);
+    out << "index,isp,rat_mask,location,failure_count\n";
+    for (const auto& bs : dataset.base_stations) {
+      out << bs.index << ',' << to_string(bs.isp) << ',' << static_cast<int>(bs.rat_mask)
+          << ',' << static_cast<int>(bs.location) << ',' << bs.failure_count << '\n';
+    }
+  }
+  {
+    auto out = open_out(dir / DatasetFiles::kConnectedTime);
+    out << "rat,level,seconds\n";
+    for (Rat rat : kAllRats) {
+      for (SignalLevel level : kAllSignalLevels) {
+        out << to_string(rat) << ',' << index_of(level) << ','
+            << dataset.connected_time.at(rat, level) << '\n';
+      }
+    }
+  }
+  {
+    auto out = open_out(dir / DatasetFiles::kTransitions);
+    out << "device,from_rat,from_level,to_rat,to_level,failure\n";
+    for (const auto& t : dataset.transitions) {
+      out << t.device << ',' << to_string(t.from_rat) << ',' << index_of(t.from_level)
+          << ',' << to_string(t.to_rat) << ',' << index_of(t.to_level) << ','
+          << (t.failure_within_window ? 1 : 0) << '\n';
+    }
+  }
+  {
+    auto out = open_out(dir / DatasetFiles::kDwells);
+    out << "device,rat,level,failure\n";
+    for (const auto& d : dataset.dwells) {
+      out << d.device << ',' << to_string(d.rat) << ',' << index_of(d.level) << ','
+          << (d.failure_within_window ? 1 : 0) << '\n';
+    }
+  }
+}
+
+namespace {
+
+void for_each_row(std::ifstream& in, const std::filesystem::path& file,
+                  const std::function<void(std::string_view, int)>& fn) {
+  std::string line;
+  int line_no = 0;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    fn(line, line_no);
+  }
+  (void)file;
+}
+
+[[noreturn]] void malformed(const std::filesystem::path& file, int line_no) {
+  throw std::runtime_error("csv_io: malformed row " + std::to_string(line_no) + " in " +
+                           file.string());
+}
+
+}  // namespace
+
+TraceDataset read_dataset_csv(const std::filesystem::path& dir) {
+  TraceDataset data;
+
+  {
+    const auto file = dir / DatasetFiles::kRecords;
+    auto in = open_in(file);
+    for_each_row(in, file, [&](std::string_view line, int n) {
+      auto record = trace_record_from_csv(line);
+      if (!record) malformed(file, n);
+      data.records.push_back(std::move(*record));
+    });
+  }
+  {
+    const auto file = dir / DatasetFiles::kDevices;
+    auto in = open_in(file);
+    for_each_row(in, file, [&](std::string_view line, int n) {
+      const auto f = split(line);
+      if (f.size() != 5) malformed(file, n);
+      const auto id = parse_number<std::uint64_t>(f[0]);
+      const auto model = parse_number<int>(f[1]);
+      const auto isp = isp_from_string(f[2]);
+      const auto android = parse_number<int>(f[4]);
+      if (!id || !model || !isp || !android || (f[3] != "0" && f[3] != "1")) {
+        malformed(file, n);
+      }
+      data.devices.push_back(DeviceMeta{*id, *model, *isp, f[3] == "1",
+                                        static_cast<AndroidVersion>(*android)});
+    });
+  }
+  {
+    const auto file = dir / DatasetFiles::kBaseStations;
+    auto in = open_in(file);
+    for_each_row(in, file, [&](std::string_view line, int n) {
+      const auto f = split(line);
+      if (f.size() != 5) malformed(file, n);
+      const auto index = parse_number<BsIndex>(f[0]);
+      const auto isp = isp_from_string(f[1]);
+      const auto mask = parse_number<int>(f[2]);
+      const auto location = parse_number<int>(f[3]);
+      const auto count = parse_number<std::uint64_t>(f[4]);
+      if (!index || !isp || !mask || !location.has_value() || !count) malformed(file, n);
+      data.base_stations.push_back(BsMeta{*index, *isp, static_cast<std::uint8_t>(*mask),
+                                          static_cast<LocationClass>(*location), *count});
+    });
+  }
+  {
+    const auto file = dir / DatasetFiles::kConnectedTime;
+    auto in = open_in(file);
+    for_each_row(in, file, [&](std::string_view line, int n) {
+      const auto f = split(line);
+      if (f.size() != 3) malformed(file, n);
+      const auto rat = rat_from_string(f[0]);
+      const auto level = parse_number<std::size_t>(f[1]);
+      const auto seconds = parse_double(f[2]);
+      if (!rat || !level || *level >= kSignalLevelCount || !seconds) malformed(file, n);
+      data.connected_time.add(*rat, signal_level_from_index(*level), *seconds);
+    });
+  }
+  {
+    const auto file = dir / DatasetFiles::kTransitions;
+    auto in = open_in(file);
+    for_each_row(in, file, [&](std::string_view line, int n) {
+      const auto f = split(line);
+      if (f.size() != 6) malformed(file, n);
+      const auto device = parse_number<std::uint64_t>(f[0]);
+      const auto from_rat = rat_from_string(f[1]);
+      const auto from_level = parse_number<std::size_t>(f[2]);
+      const auto to_rat = rat_from_string(f[3]);
+      const auto to_level = parse_number<std::size_t>(f[4]);
+      if (!device || !from_rat || !from_level || !to_rat || !to_level ||
+          *from_level >= kSignalLevelCount || *to_level >= kSignalLevelCount ||
+          (f[5] != "0" && f[5] != "1")) {
+        malformed(file, n);
+      }
+      data.transitions.push_back(TransitionRecord{
+          *device, *from_rat, signal_level_from_index(*from_level), *to_rat,
+          signal_level_from_index(*to_level), f[5] == "1"});
+    });
+  }
+  {
+    const auto file = dir / DatasetFiles::kDwells;
+    auto in = open_in(file);
+    for_each_row(in, file, [&](std::string_view line, int n) {
+      const auto f = split(line);
+      if (f.size() != 4) malformed(file, n);
+      const auto device = parse_number<std::uint64_t>(f[0]);
+      const auto rat = rat_from_string(f[1]);
+      const auto level = parse_number<std::size_t>(f[2]);
+      if (!device || !rat || !level || *level >= kSignalLevelCount ||
+          (f[3] != "0" && f[3] != "1")) {
+        malformed(file, n);
+      }
+      data.dwells.push_back(
+          DwellRecord{*device, *rat, signal_level_from_index(*level), f[3] == "1"});
+    });
+  }
+  return data;
+}
+
+}  // namespace cellrel

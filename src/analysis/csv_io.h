@@ -1,0 +1,55 @@
+// CSV import/export for the backend dataset.
+//
+// The study's backend receives compressed trace uploads and analyzes them
+// centrally (§2.3). This module persists a TraceDataset as a directory of
+// CSV files (records, devices, base stations, connected time, transitions,
+// dwells) and loads it back, so campaigns can be generated once and
+// re-analyzed offline — the workflow the cellrel_campaign CLI tool exposes.
+//
+// The record rows use the same serialization as core/trace.h's to_csv();
+// ground-truth annotations are intentionally NOT exported (the real backend
+// never had them), so analyses over an imported dataset reflect exactly
+// what the monitor uploaded.
+
+#ifndef CELLREL_ANALYSIS_CSV_IO_H
+#define CELLREL_ANALYSIS_CSV_IO_H
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "analysis/dataset.h"
+
+namespace cellrel {
+
+/// File names written/read inside the dataset directory.
+struct DatasetFiles {
+  static constexpr const char* kRecords = "records.csv";
+  static constexpr const char* kDevices = "devices.csv";
+  static constexpr const char* kBaseStations = "base_stations.csv";
+  static constexpr const char* kConnectedTime = "connected_time.csv";
+  static constexpr const char* kTransitions = "transitions.csv";
+  static constexpr const char* kDwells = "dwells.csv";
+};
+
+/// Writes the dataset under `dir` (created if missing). Throws
+/// std::runtime_error on I/O failure.
+void write_dataset_csv(const TraceDataset& dataset, const std::filesystem::path& dir);
+
+/// Reads a dataset previously written by write_dataset_csv. Throws
+/// std::runtime_error on missing files or malformed rows.
+TraceDataset read_dataset_csv(const std::filesystem::path& dir);
+
+// --- parsing helpers (exposed for tests) ---
+std::optional<FailureType> failure_type_from_string(std::string_view s);
+std::optional<IspId> isp_from_string(std::string_view s);
+std::optional<Rat> rat_from_string(std::string_view s);
+std::optional<DurationMethod> duration_method_from_string(std::string_view s);
+std::optional<CellIdentity> cell_identity_from_string(std::string_view s);
+
+/// Parses one records.csv row (the to_csv() format).
+std::optional<TraceRecord> trace_record_from_csv(std::string_view line);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_ANALYSIS_CSV_IO_H

@@ -1,0 +1,28 @@
+// One-shot markdown report over a backend dataset: the whole §3 analysis
+// (general statistics, phone landscape, ISP/BS landscape) in a single
+// document, as the study's backend would publish it.
+
+#ifndef CELLREL_ANALYSIS_FULL_REPORT_H
+#define CELLREL_ANALYSIS_FULL_REPORT_H
+
+#include <string>
+
+#include "analysis/dataset.h"
+
+namespace cellrel {
+
+struct FullReportOptions {
+  std::string title = "Cellular reliability campaign report";
+  /// Include the six RAT-transition matrices (verbose).
+  bool include_transition_matrices = true;
+  /// Include the 34-row per-model table.
+  bool include_model_table = true;
+};
+
+/// Renders the complete markdown report.
+std::string render_full_report(const TraceDataset& dataset,
+                               const FullReportOptions& options = {});
+
+}  // namespace cellrel
+
+#endif  // CELLREL_ANALYSIS_FULL_REPORT_H

@@ -1,0 +1,98 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace cellrel {
+
+std::string render_series(const Series& series, bool bars, int precision) {
+  std::string out;
+  out += "# " + series.name + "\n";
+  std::size_t label_width = 0;
+  for (const auto& l : series.labels) label_width = std::max(label_width, l.size());
+  double peak = 0.0;
+  for (double v : series.values) peak = std::max(peak, std::fabs(v));
+  for (std::size_t i = 0; i < series.values.size(); ++i) {
+    const std::string label = i < series.labels.size() ? series.labels[i] : "";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, series.values[i]);
+    out += "  " + label;
+    out.append(label_width - label.size() + 2, ' ');
+    out += buf;
+    if (bars && peak > 0.0) {
+      const auto width =
+          static_cast<std::size_t>(std::fabs(series.values[i]) / peak * 40.0);
+      out += "  ";
+      out.append(width, '#');
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::span<const double> default_cdf_quantiles() {
+  static constexpr std::array<double, 11> kQuantiles = {
+      0.05, 0.10, 0.25, 0.50, 0.708, 0.75, 0.80, 0.90, 0.95, 0.99, 1.0};
+  return kQuantiles;
+}
+
+std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles) {
+  std::string out;
+  char buf[96];
+  for (double q : probe_quantiles) {
+    std::snprintf(buf, sizeof(buf), "  p%05.1f  %12.2f\n", q * 100.0, samples.quantile(q));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  mean    %12.2f   n=%zu\n", samples.mean(), samples.size());
+  out += buf;
+  return out;
+}
+
+std::string render_transition_matrix(const Aggregator::TransitionMatrix& m,
+                                     std::string_view title) {
+  std::string out;
+  out += "# ";
+  out += title;
+  out += "\n       ";
+  for (std::size_t j = 0; j < kSignalLevelCount; ++j) {
+    out += "   j=" + std::to_string(j) + "  ";
+  }
+  out += '\n';
+  static constexpr std::string_view kShades = " .:-=+*#%@";
+  double peak = 0.0;
+  for (const auto& row : m) {
+    for (double v : row) peak = std::max(peak, std::fabs(v));
+  }
+  for (std::size_t i = 0; i < kSignalLevelCount; ++i) {
+    char head[16];
+    std::snprintf(head, sizeof(head), "  i=%zu  ", i);
+    out += head;
+    for (std::size_t j = 0; j < kSignalLevelCount; ++j) {
+      char cell[16];
+      const double v = m[i][j];
+      const std::size_t shade =
+          peak > 0.0 ? std::min<std::size_t>(kShades.size() - 1,
+                                             static_cast<std::size_t>(
+                                                 std::fabs(v) / peak * (kShades.size() - 1)))
+                     : 0;
+      std::snprintf(cell, sizeof(cell), "%+.2f(%c)", v, kShades[shade]);
+      out += cell;
+      out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_comparisons(std::span<const Comparison> rows) {
+  TextTable table({"metric", "paper", "measured", "unit"});
+  for (const auto& row : rows) {
+    table.add_row({row.metric, TextTable::num(row.paper), TextTable::num(row.measured),
+                   row.unit});
+  }
+  return table.render();
+}
+
+}  // namespace cellrel

@@ -1,0 +1,47 @@
+// Text renderers for figures and tables (used by bench binaries and
+// examples to print the paper-style rows/series).
+
+#ifndef CELLREL_ANALYSIS_REPORT_H
+#define CELLREL_ANALYSIS_REPORT_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "common/table.h"
+
+namespace cellrel {
+
+/// A labelled series of values (one figure curve / bar group).
+struct Series {
+  std::string name;
+  std::vector<std::string> labels;
+  std::vector<double> values;
+};
+
+/// "label: value" lines with aligned columns and optional bars.
+std::string render_series(const Series& series, bool bars = true, int precision = 3);
+
+/// Empirical CDF as "value  cumulative%" lines at the given probe points.
+std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles);
+
+/// Default quantile probes used across duration/count CDFs.
+std::span<const double> default_cdf_quantiles();
+
+/// A 6x6 transition heatmap (Fig. 17 panels) with a coarse shade ramp.
+std::string render_transition_matrix(const Aggregator::TransitionMatrix& m,
+                                     std::string_view title);
+
+/// Side-by-side paper-vs-measured comparison row helper.
+struct Comparison {
+  std::string metric;
+  double paper = 0.0;
+  double measured = 0.0;
+  std::string unit;
+};
+std::string render_comparisons(std::span<const Comparison> rows);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_ANALYSIS_REPORT_H

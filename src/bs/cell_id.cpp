@@ -1,0 +1,33 @@
+#include "bs/cell_id.h"
+
+#include <cstdio>
+
+namespace cellrel {
+
+std::string to_string(const CellGlobalId& id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%03u-%02u-%u-%u", id.mcc, id.mnc, id.lac, id.cid);
+  return buf;
+}
+
+std::string to_string(const CdmaCellId& id) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "cdma:%u-%u-%u", id.sid, id.nid, id.bid);
+  return buf;
+}
+
+std::string to_string(const CellIdentity& id) {
+  return std::visit([](const auto& v) { return to_string(v); }, id);
+}
+
+std::uint64_t cell_key(const CellIdentity& id) {
+  if (const auto* g = std::get_if<CellGlobalId>(&id)) {
+    return (std::uint64_t{g->mcc} << 48) ^ (std::uint64_t{g->mnc} << 40) ^
+           (std::uint64_t{g->lac} << 28) ^ g->cid;
+  }
+  const auto& c = std::get<CdmaCellId>(id);
+  return 0x8000000000000000ULL ^ (std::uint64_t{c.sid} << 44) ^
+         (std::uint64_t{c.nid} << 28) ^ c.bid;
+}
+
+}  // namespace cellrel

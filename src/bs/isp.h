@@ -1,0 +1,66 @@
+// Mobile ISP descriptors.
+//
+// The study covers three anonymized Chinese ISPs. What matters to the
+// reproduction is the published structure: BS shares (44.8 / 29.4 / 25.8 %),
+// subscriber prevalence ordering (B 27.1% > A 20.1% > C 14.7%), median radio
+// frequency ordering (B > C > A, driving coverage: higher frequency ->
+// smaller coverage radius), and band proximity (adjacent-channel
+// interference at dense deployments).
+
+#ifndef CELLREL_BS_ISP_H
+#define CELLREL_BS_ISP_H
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace cellrel {
+
+enum class IspId : std::uint8_t {
+  kIspA = 0,  // largest BS share, best coverage (lowest band)
+  kIspB = 1,  // higher band, smaller coverage, worst reliability
+  kIspC = 2,  // fewest subscribers, middle band
+};
+
+inline constexpr std::array<IspId, 3> kAllIsps = {IspId::kIspA, IspId::kIspB, IspId::kIspC};
+inline constexpr std::size_t kIspCount = kAllIsps.size();
+
+constexpr std::size_t index_of(IspId isp) { return static_cast<std::size_t>(isp); }
+constexpr std::string_view to_string(IspId isp) {
+  switch (isp) {
+    case IspId::kIspA: return "ISP-A";
+    case IspId::kIspB: return "ISP-B";
+    case IspId::kIspC: return "ISP-C";
+  }
+  return "?";
+}
+
+/// Static per-ISP modelling parameters.
+struct IspProfile {
+  IspId id = IspId::kIspA;
+  /// Fraction of the nationwide BS population (sums to 1 over ISPs).
+  double bs_share = 0.0;
+  /// Fraction of the subscriber population.
+  double subscriber_share = 0.0;
+  /// Median downlink carrier frequency in MHz (drives coverage radius and
+  /// band adjacency).
+  double median_band_mhz = 0.0;
+  /// Relative coverage radius (1.0 = baseline); lower band -> larger radius.
+  double coverage_radius_factor = 1.0;
+  /// Multiplier on per-connection failure hazard capturing the ISP's signal
+  /// coverage quality (calibrated so ISP-B > ISP-A > ISP-C as measured).
+  double hazard_multiplier = 1.0;
+  /// MNC used when minting this ISP's cell identities.
+  std::uint16_t mnc = 0;
+};
+
+/// Profile lookup (values in isp.cpp, calibrated from §3.3).
+const IspProfile& isp_profile(IspId isp);
+
+/// Frequency separation between two ISPs' median bands, in MHz; small
+/// separations produce adjacent-channel interference at dense sites.
+double band_separation_mhz(IspId a, IspId b);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_BS_ISP_H

@@ -1,0 +1,61 @@
+// Base-station registry: owns the BS population and answers cell selection.
+
+#ifndef CELLREL_BS_REGISTRY_H
+#define CELLREL_BS_REGISTRY_H
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bs/base_station.h"
+#include "bs/deployment.h"
+#include "common/rng.h"
+
+namespace cellrel {
+
+/// A camping opportunity a device sees at its current location: a BS,
+/// reachable over one of its RATs, at a given signal level.
+struct CellCandidate {
+  BsIndex bs = kInvalidBs;
+  Rat rat = Rat::k4G;
+  SignalLevel level = SignalLevel::kLevel0;
+};
+
+/// Owns the deployed base stations and provides lookup / selection.
+class BsRegistry {
+ public:
+  BsRegistry(const DeploymentConfig& config, Rng& rng);
+
+  std::size_t size() const { return stations_.size(); }
+  const BaseStation& at(BsIndex i) const { return stations_[i]; }
+  BaseStation& at(BsIndex i) { return stations_[i]; }
+  std::span<const BaseStation> all() const { return stations_; }
+
+  /// Picks a serving-area BS for a subscriber of `isp` currently in
+  /// `location`. Falls back to any of the ISP's BSes if the class is empty.
+  BsIndex pick_bs(IspId isp, LocationClass location, Rng& rng) const;
+
+  /// Enumerates the cells a device camped near `bs` could use: the BS's own
+  /// RATs plus (with some probability) a neighboring BS of the same ISP.
+  /// Levels are drawn from the location/ISP coverage model.
+  std::vector<CellCandidate> enumerate_candidates(BsIndex bs, bool device_5g_capable,
+                                                  Rng& rng) const;
+
+  /// Draws the signal level a device experiences from `bs` over `rat`
+  /// given the ISP's coverage model and the site's location class.
+  SignalLevel sample_level(const BaseStation& bs, Rat rat, Rng& rng) const;
+
+  /// Per-BS failure totals, index-aligned with the registry.
+  std::vector<std::uint64_t> failure_counts() const;
+
+ private:
+  std::vector<BaseStation> stations_;
+  // Buckets of BS indices keyed by (isp, location class) for O(1) selection.
+  std::array<std::array<std::vector<BsIndex>, 6>, kIspCount> buckets_;
+  std::array<std::vector<BsIndex>, kIspCount> by_isp_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_BS_REGISTRY_H

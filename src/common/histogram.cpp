@@ -1,0 +1,87 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace cellrel {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void LinearHistogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  idx = std::min(idx, counts_.size() - 1);
+  counts_[idx] += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double LinearHistogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double LinearHistogram::cumulative_fraction(double x) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t below = underflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (bin_hi(i) <= x) {
+      below += counts_[i];
+    } else {
+      break;
+    }
+  }
+  if (x >= hi_) below = total_ - 0;  // everything, including overflow
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+LogHistogram::LogHistogram(double first_edge, double ratio, std::size_t bins)
+    : first_edge_(first_edge), ratio_(ratio), counts_(bins, 0) {
+  assert(first_edge > 0.0 && ratio > 1.0 && bins > 0);
+}
+
+void LogHistogram::add(double x, std::uint64_t weight) {
+  total_ += weight;
+  std::size_t idx = 0;
+  if (x >= first_edge_) {
+    idx = 1 + static_cast<std::size_t>(std::log(x / first_edge_) / std::log(ratio_));
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  counts_[idx] += weight;
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  if (i == 0) return 0.0;
+  return first_edge_ * std::pow(ratio_, static_cast<double>(i - 1));
+}
+
+double LogHistogram::bin_hi(std::size_t i) const {
+  return first_edge_ * std::pow(ratio_, static_cast<double>(i));
+}
+
+std::string LogHistogram::render(std::size_t max_width) const {
+  std::string out;
+  const std::uint64_t peak = *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    char head[96];
+    std::snprintf(head, sizeof(head), "[%10.1f, %10.1f) %10llu ", bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += head;
+    const auto bar = peak ? counts_[i] * max_width / peak : 0;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cellrel

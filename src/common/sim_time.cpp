@@ -1,0 +1,25 @@
+#include "common/sim_time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace cellrel {
+
+std::string to_string(SimDuration d) {
+  const double s = d.to_seconds();
+  char buf[64];
+  if (std::fabs(s) < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1e3);
+  } else if (std::fabs(s) < 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  } else if (std::fabs(s) < 7200.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", s / 60.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", s / 3600.0);
+  }
+  return buf;
+}
+
+std::string to_string(SimTime t) { return to_string(t.since_origin()) + " @sim"; }
+
+}  // namespace cellrel

@@ -1,0 +1,118 @@
+// Simulation time primitives.
+//
+// All simulation components share a single notion of time: a signed 64-bit
+// count of microseconds since the start of the simulated campaign. A strong
+// type (rather than a raw integer or std::chrono duration) keeps arithmetic
+// deterministic, cheap to hash, and impossible to confuse with wall-clock
+// time, while still converting cleanly to fractional seconds for the
+// statistical models (TIMP integrals, duration CDFs).
+
+#ifndef CELLREL_COMMON_SIM_TIME_H
+#define CELLREL_COMMON_SIM_TIME_H
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace cellrel {
+
+/// A span of simulated time with microsecond resolution.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+
+  static constexpr SimDuration microseconds(std::int64_t us) {
+    return SimDuration{us};
+  }
+  static constexpr SimDuration milliseconds(std::int64_t ms) {
+    return SimDuration{ms * 1000};
+  }
+  static constexpr SimDuration seconds(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  static constexpr SimDuration minutes(double m) { return seconds(m * 60.0); }
+  static constexpr SimDuration hours(double h) { return seconds(h * 3600.0); }
+  static constexpr SimDuration days(double d) { return hours(d * 24.0); }
+
+  static constexpr SimDuration zero() { return SimDuration{0}; }
+  static constexpr SimDuration max() {
+    return SimDuration{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  constexpr std::int64_t count_us() const { return us_; }
+  constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  constexpr double to_minutes() const { return to_seconds() / 60.0; }
+
+  constexpr bool is_zero() const { return us_ == 0; }
+  constexpr bool is_negative() const { return us_ < 0; }
+
+  friend constexpr SimDuration operator+(SimDuration a, SimDuration b) {
+    return SimDuration{a.us_ + b.us_};
+  }
+  friend constexpr SimDuration operator-(SimDuration a, SimDuration b) {
+    return SimDuration{a.us_ - b.us_};
+  }
+  friend constexpr SimDuration operator*(SimDuration a, double k) {
+    return SimDuration{static_cast<std::int64_t>(static_cast<double>(a.us_) * k)};
+  }
+  friend constexpr SimDuration operator*(double k, SimDuration a) { return a * k; }
+  friend constexpr double operator/(SimDuration a, SimDuration b) {
+    return static_cast<double>(a.us_) / static_cast<double>(b.us_);
+  }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    us_ += o.us_;
+    return *this;
+  }
+  constexpr SimDuration& operator-=(SimDuration o) {
+    us_ -= o.us_;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimDuration, SimDuration) = default;
+
+ private:
+  constexpr explicit SimDuration(std::int64_t us) : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulation clock.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime origin() { return SimTime{}; }
+  static constexpr SimTime from_seconds(double s) {
+    return SimTime{SimDuration::seconds(s)};
+  }
+  static constexpr SimTime max() { return SimTime{SimDuration::max()}; }
+
+  constexpr SimDuration since_origin() const { return since_origin_; }
+  constexpr double to_seconds() const { return since_origin_.to_seconds(); }
+
+  friend constexpr SimTime operator+(SimTime t, SimDuration d) {
+    return SimTime{t.since_origin_ + d};
+  }
+  friend constexpr SimTime operator-(SimTime t, SimDuration d) {
+    return SimTime{t.since_origin_ - d};
+  }
+  friend constexpr SimDuration operator-(SimTime a, SimTime b) {
+    return a.since_origin_ - b.since_origin_;
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    since_origin_ += d;
+    return *this;
+  }
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+ private:
+  constexpr explicit SimTime(SimDuration d) : since_origin_(d) {}
+  SimDuration since_origin_;
+};
+
+/// Renders a duration as a short human-readable string, e.g. "3.1min".
+std::string to_string(SimDuration d);
+std::string to_string(SimTime t);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_COMMON_SIM_TIME_H

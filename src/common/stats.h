@@ -1,0 +1,89 @@
+// Streaming and batch statistics used throughout the analysis pipeline.
+
+#ifndef CELLREL_COMMON_STATS_H
+#define CELLREL_COMMON_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cellrel {
+
+/// Welford's online mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::uint64_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch sample container with exact quantiles; samples are stored and
+/// sorted lazily on first query.
+class SampleSet {
+ public:
+  void add(double x);
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double mean() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  /// Quantile q in [0,1] with linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  /// Fraction of samples strictly below the threshold.
+  double fraction_below(double threshold) const;
+
+  /// Sorted view of the samples (sorts on demand).
+  std::span<const double> sorted() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative = 0.0;  // fraction of mass at or below `value`
+};
+
+/// Builds an empirical CDF downsampled to at most `max_points` points
+/// (always including the extremes).
+std::vector<CdfPoint> empirical_cdf(const SampleSet& samples, std::size_t max_points = 200);
+
+/// Linear regression y = slope*x + intercept via least squares.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_COMMON_STATS_H

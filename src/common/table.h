@@ -1,0 +1,32 @@
+// Minimal fixed-width text table writer for bench/report output.
+
+#ifndef CELLREL_COMMON_TABLE_H
+#define CELLREL_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cellrel {
+
+/// Accumulates rows of cells and renders them with aligned columns.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double v, int precision = 2);
+  static std::string percent(double fraction, int precision = 1);
+
+  std::string render() const;
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_COMMON_TABLE_H

@@ -1,0 +1,49 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace cellrel {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    total += std::pow(static_cast<double>(k), -s);
+    cdf_[k - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+ZipfFit fit_zipf(std::span<const std::uint64_t> counts) {
+  std::vector<std::uint64_t> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<double> log_rank;
+  std::vector<double> log_count;
+  log_rank.reserve(sorted.size());
+  log_count.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] == 0) break;  // descending: remainder are zero too
+    log_rank.push_back(std::log(static_cast<double>(i + 1)));
+    log_count.push_back(std::log(static_cast<double>(sorted[i])));
+  }
+  ZipfFit fit;
+  if (log_rank.size() < 2) return fit;
+  const LinearFit lf = linear_fit(log_rank, log_count);
+  fit.a = -lf.slope;
+  fit.b = lf.intercept;
+  fit.r_squared = lf.r_squared;
+  return fit;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,23 @@
+#include "core/android_mod.h"
+
+namespace cellrel {
+
+AndroidMod::AndroidMod(Simulator& sim, Rng rng, Config config, TraceUploader::Sink sink)
+    : telephony_(sim, rng, config.telephony),
+      recovery_bridge_(telephony_),
+      monitor_(telephony_, config.identity, std::move(sink), config.monitor) {
+  // Framework-side recovery reacts to the same detector the monitor
+  // instruments; register the bridge after the monitor so records open
+  // before recovery mutates state.
+  telephony_.register_failure_listener(&recovery_bridge_);
+}
+
+void AndroidMod::boot() { telephony_.stall_detector().start(); }
+
+void AndroidMod::shutdown() {
+  telephony_.stall_detector().stop();
+  telephony_.unregister_failure_listener(&recovery_bridge_);
+  monitor_.flush_uploads();
+}
+
+}  // namespace cellrel

@@ -1,0 +1,64 @@
+// AndroidMod: one device's customized system image.
+//
+// Bundles the telephony stack with the monitoring service and wires the
+// pieces vanilla Android keeps separate: the Data_Stall detector drives both
+// the recovery manager (framework behaviour) and the monitor (Android-MOD
+// instrumentation). This is the object a campaign instantiates per opt-in
+// device, and the object the examples use as the public entry point.
+
+#ifndef CELLREL_CORE_ANDROID_MOD_H
+#define CELLREL_CORE_ANDROID_MOD_H
+
+#include <memory>
+
+#include "core/monitor_service.h"
+#include "telephony/telephony_manager.h"
+
+namespace cellrel {
+
+class AndroidMod {
+ public:
+  struct Config {
+    TelephonyManager::Config telephony;
+    MonitorService::Config monitor;
+    MonitorService::Identity identity;
+  };
+
+  /// `sink` receives uploaded trace batches (the backend server).
+  AndroidMod(Simulator& sim, Rng rng, Config config, TraceUploader::Sink sink);
+
+  AndroidMod(const AndroidMod&) = delete;
+  AndroidMod& operator=(const AndroidMod&) = delete;
+
+  TelephonyManager& telephony() { return telephony_; }
+  MonitorService& monitor() { return monitor_; }
+
+  /// Starts the background machinery (stall detection polling).
+  void boot();
+  void shutdown();
+
+ private:
+  class StallRecoveryBridge final : public FailureEventListener {
+   public:
+    explicit StallRecoveryBridge(TelephonyManager& telephony) : telephony_(telephony) {}
+    void on_failure_event(const FailureEvent& event) override {
+      if (event.type == FailureType::kDataStall) {
+        telephony_.recoverer().on_stall_detected();
+      }
+    }
+    void on_failure_cleared(FailureType type, SimTime /*at*/) override {
+      if (type == FailureType::kDataStall) telephony_.recoverer().on_stall_cleared();
+    }
+
+   private:
+    TelephonyManager& telephony_;
+  };
+
+  TelephonyManager telephony_;
+  StallRecoveryBridge recovery_bridge_;
+  MonitorService monitor_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_CORE_ANDROID_MOD_H

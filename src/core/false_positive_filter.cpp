@@ -1,0 +1,49 @@
+#include "core/false_positive_filter.h"
+
+namespace cellrel {
+
+std::string_view to_string(FilterVerdict::Rule rule) {
+  switch (rule) {
+    case FilterVerdict::Rule::kNone: return "none";
+    case FilterVerdict::Rule::kErrorCodeCorrelated: return "error-code-correlated";
+    case FilterVerdict::Rule::kVoiceCallDisruption: return "voice-call-disruption";
+    case FilterVerdict::Rule::kManualDisconnect: return "manual-disconnect";
+    case FilterVerdict::Rule::kAccountSuspension: return "account-suspension";
+  }
+  return "?";
+}
+
+FalsePositiveFilter::FalsePositiveFilter() : catalog_(FailCauseCatalog::instance()) {}
+
+FilterVerdict FalsePositiveFilter::classify(const FailureEvent& event,
+                                            const DeviceObservables& obs) const {
+  FilterVerdict v;
+  // Device-local observables first: they are authoritative regardless of
+  // what code the radio produced.
+  if (!obs.mobile_data_enabled || obs.airplane_mode) {
+    v.false_positive = true;
+    v.rule = FilterVerdict::Rule::kManualDisconnect;
+    return v;
+  }
+  if (obs.in_voice_call && event.type == FailureType::kDataSetupError) {
+    v.false_positive = true;
+    v.rule = FilterVerdict::Rule::kVoiceCallDisruption;
+    return v;
+  }
+  if (obs.account_suspended_notice) {
+    v.false_positive = true;
+    v.rule = FilterVerdict::Rule::kAccountSuspension;
+    return v;
+  }
+  // Error-code table: rational rejections and local/subscription causes.
+  if (event.type == FailureType::kDataSetupError && event.cause != FailCause::kNone) {
+    if (catalog_.info(event.cause).false_positive_correlated) {
+      v.false_positive = true;
+      v.rule = FilterVerdict::Rule::kErrorCodeCorrelated;
+      return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,59 @@
+// False-positive filtering (§2.2).
+//
+// Android reports failure events that are not true failures: rational setup
+// rejections from overloaded base stations, disruptions by incoming voice
+// calls, service suspension over account balance, and manual disconnects.
+// Android-MOD rules these out using (a) the protocol error code — "we have
+// carefully analyzed all the 344 cellular connection-related error codes
+// that are highly correlated with false positives" — and (b) device-local
+// observables (settings, call state, account notifications). The filter
+// never sees the simulation's ground-truth labels; tests score its
+// precision/recall against them.
+
+#ifndef CELLREL_CORE_FALSE_POSITIVE_FILTER_H
+#define CELLREL_CORE_FALSE_POSITIVE_FILTER_H
+
+#include "radio/fail_cause.h"
+#include "telephony/events.h"
+
+namespace cellrel {
+
+/// Device-local state observable by a framework-level service at event time.
+struct DeviceObservables {
+  bool mobile_data_enabled = true;
+  bool airplane_mode = false;
+  bool in_voice_call = false;          // telephony call state == OFFHOOK/RINGING
+  bool account_suspended_notice = false;  // carrier suspension notification
+};
+
+/// Verdict for one event.
+struct FilterVerdict {
+  bool false_positive = false;
+  /// Which rule fired (for diagnostics); meaningless if !false_positive.
+  enum class Rule : std::uint8_t {
+    kNone = 0,
+    kErrorCodeCorrelated,  // cause is in the FP-correlated code table
+    kVoiceCallDisruption,
+    kManualDisconnect,
+    kAccountSuspension,
+  } rule = Rule::kNone;
+};
+
+std::string_view to_string(FilterVerdict::Rule rule);
+
+/// Stateless rules engine over the code table and observables.
+class FalsePositiveFilter {
+ public:
+  FalsePositiveFilter();
+
+  /// Classifies a setup-error / OOS event. (Data_Stall false positives are
+  /// classified by the prober instead; see NetworkStateProber.)
+  FilterVerdict classify(const FailureEvent& event, const DeviceObservables& obs) const;
+
+ private:
+  const FailCauseCatalog& catalog_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_CORE_FALSE_POSITIVE_FILTER_H

@@ -1,0 +1,163 @@
+#include "core/monitor_service.h"
+
+#include <cmath>
+#include <utility>
+
+namespace cellrel {
+
+MonitorService::MonitorService(TelephonyManager& telephony, Identity identity,
+                               TraceUploader::Sink sink)
+    : MonitorService(telephony, identity, std::move(sink), Config{}) {}
+
+MonitorService::MonitorService(TelephonyManager& telephony, Identity identity,
+                               TraceUploader::Sink sink, Config config)
+    : telephony_(telephony),
+      identity_(identity),
+      config_(config),
+      prober_(telephony.simulator(), telephony.network(), config.prober),
+      uploader_(std::move(sink)) {
+  telephony_.register_failure_listener(this);
+  // Close setup-error episodes when the connection leaves the setup loop.
+  // NOTE: the observer holds a reference to this service; the monitor must
+  // outlive the telephony manager's event dispatch (they are constructed
+  // and destroyed together by AndroidMod / the campaign).
+  telephony_.dc_tracker().connection().observe(
+      [this](DcState /*from*/, DcState to, SimTime at) {
+        if (to == DcState::kActive || to == DcState::kInactive) close_setup_episode(at);
+      });
+}
+
+MonitorService::~MonitorService() { telephony_.unregister_failure_listener(this); }
+
+TraceRecord MonitorService::base_record(const FailureEvent& event) const {
+  TraceRecord r;
+  r.device = identity_.device;
+  r.model_id = identity_.model_id;
+  r.isp = identity_.isp;
+  r.type = event.type;
+  r.at = event.at;
+  r.rat = event.rat;
+  r.level = event.level;
+  r.bs = event.bs;
+  if (resolve_cell_ && event.bs != kInvalidBs) r.cell = resolve_cell_(event.bs);
+  r.apn = telephony_.dc_tracker().apn();
+  r.cause = event.cause;
+  r.ground_truth_fp = event.ground_truth_fp;
+  return r;
+}
+
+void MonitorService::write_record(TraceRecord record) {
+  overhead_.on_record_written(compressed_record_bytes(record));
+  overhead_.add_failure_duration(record.duration);
+  ++records_written_;
+  uploader_.submit(std::move(record));
+}
+
+void MonitorService::on_failure_event(const FailureEvent& event) {
+  overhead_.on_event_handled();
+  const DeviceObservables obs = observables_ ? observables_() : DeviceObservables{};
+  switch (event.type) {
+    case FailureType::kDataSetupError: {
+      TraceRecord r = base_record(event);
+      const FilterVerdict verdict = filter_.classify(event, obs);
+      r.filtered_false_positive = verdict.false_positive;
+      r.duration_method = DurationMethod::kStateTracking;
+      if (!setup_episode_started_) setup_episode_started_ = event.at;
+      open_setup_events_.push_back(std::move(r));
+      break;
+    }
+    case FailureType::kDataStall: {
+      if (open_stall_) break;  // already tracking this episode
+      TraceRecord r = base_record(event);
+      open_stall_ = std::move(r);
+      if (config_.use_probing) {
+        prober_.start(event.at,
+                      [this](const NetworkStateProber::Report& rep) { on_probe_complete(rep); });
+      }
+      break;
+    }
+    case FailureType::kOutOfService: {
+      TraceRecord r = base_record(event);
+      const FilterVerdict verdict = filter_.classify(event, obs);
+      r.filtered_false_positive = verdict.false_positive;
+      r.duration_method = DurationMethod::kStateTracking;
+      open_oos_ = std::move(r);
+      break;
+    }
+    case FailureType::kSmsSendFail:
+    case FailureType::kVoiceCallDrop: {
+      // Legacy service failures: recorded as instantaneous events (<1% of
+      // the dataset, §3.1).
+      TraceRecord r = base_record(event);
+      r.duration_method = DurationMethod::kNone;
+      write_record(std::move(r));
+      break;
+    }
+  }
+}
+
+void MonitorService::close_setup_episode(SimTime at) {
+  if (!setup_episode_started_ || open_setup_events_.empty()) {
+    setup_episode_started_.reset();
+    open_setup_events_.clear();
+    return;
+  }
+  const SimDuration episode = at - *setup_episode_started_;
+  const double n = static_cast<double>(open_setup_events_.size());
+  for (auto& r : open_setup_events_) {
+    r.duration = episode * (1.0 / n);
+    write_record(std::move(r));
+  }
+  open_setup_events_.clear();
+  setup_episode_started_.reset();
+}
+
+void MonitorService::on_failure_cleared(FailureType type, SimTime at) {
+  switch (type) {
+    case FailureType::kDataStall: {
+      if (!open_stall_) break;
+      if (config_.use_probing) break;  // the prober closes the episode
+      // Vanilla fallback: duration known only at the detector's one-minute
+      // granularity; round up to the next minute boundary.
+      TraceRecord r = std::move(*open_stall_);
+      open_stall_.reset();
+      const double raw = (at - r.at).to_seconds();
+      const double rounded = std::ceil(raw / 60.0) * 60.0;
+      r.duration = SimDuration::seconds(rounded < 60.0 ? 60.0 : rounded);
+      r.duration_method = DurationMethod::kAndroidFallback;
+      write_record(std::move(r));
+      break;
+    }
+    case FailureType::kOutOfService: {
+      if (!open_oos_) break;
+      TraceRecord r = std::move(*open_oos_);
+      open_oos_.reset();
+      r.duration = at - r.at;
+      write_record(std::move(r));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MonitorService::on_probe_complete(const NetworkStateProber::Report& report) {
+  if (!open_stall_) return;
+  for (std::uint32_t i = 0; i < report.rounds; ++i) overhead_.on_probe_round();
+  overhead_.on_probe_traffic(prober_.total_probe_bytes() - probe_bytes_seen_);
+  probe_bytes_seen_ = prober_.total_probe_bytes();
+
+  TraceRecord r = std::move(*open_stall_);
+  open_stall_.reset();
+  if (report.result == ProbeEpisodeResult::kAborted) return;
+  r.duration = report.measured_duration;
+  r.probe_rounds = report.rounds;
+  r.duration_method = report.reverted_to_fallback ? DurationMethod::kAndroidFallback
+                                                  : DurationMethod::kProbing;
+  r.filtered_false_positive =
+      report.result == ProbeEpisodeResult::kSystemSideFalsePositive ||
+      report.result == ProbeEpisodeResult::kDnsOnlyFalsePositive;
+  write_record(std::move(r));
+}
+
+}  // namespace cellrel

@@ -1,0 +1,117 @@
+// Network-state probing component (§2.2).
+//
+// Once a suspicious Data_Stall is detected, Android-MOD probes the network
+// to (a) rule out device-side false positives and (b) measure the stall's
+// duration with <= 5 s error instead of vanilla Android's one-minute
+// granularity. Each round simultaneously sends:
+//   * an ICMP echo to 127.0.0.1          (timeout 1 s, per RFC 5508 practice)
+//   * an ICMP echo to each assigned DNS server (timeout 1 s)
+//   * a DNS query for the dedicated test server's name to each DNS server
+//                                        (timeout 5 s, per RFC 1536 practice)
+// Classification:
+//   * localhost times out                      -> system-side false positive
+//   * DNS times out, ICMP to the servers is OK -> resolver false positive
+//   * everything towards the network times out -> stall persists, next round
+//   * a DNS answer arrives                     -> stall over; sum durations
+// Past 1200 s of stall the timeouts double every round (overhead control);
+// once either timeout exceeds 60 s the prober reverts to Android's original
+// fixed-interval detection.
+
+#ifndef CELLREL_CORE_PROBER_H
+#define CELLREL_CORE_PROBER_H
+
+#include <cstdint>
+#include <functional>
+
+#include "common/sim_time.h"
+#include "net/network_stack.h"
+#include "sim/event_queue.h"
+
+namespace cellrel {
+
+/// Final classification of one probed stall episode.
+enum class ProbeEpisodeResult : std::uint8_t {
+  kNetworkStallResolved = 0,   // true Data_Stall; duration measured
+  kSystemSideFalsePositive,    // firewall/proxy/driver problem
+  kDnsOnlyFalsePositive,       // resolver outage only
+  kAborted,                    // cancelled externally
+};
+
+std::string_view to_string(ProbeEpisodeResult r);
+
+/// Runs the probing state machine for one stall episode.
+class NetworkStateProber {
+ public:
+  struct Config {
+    SimDuration icmp_timeout = SimDuration::seconds(1.0);
+    SimDuration dns_timeout = SimDuration::seconds(5.0);
+    /// Stall age beyond which timeouts double each round.
+    SimDuration backoff_threshold = SimDuration::seconds(1200.0);
+    /// Timeout value beyond which we revert to vanilla detection.
+    SimDuration revert_threshold = SimDuration::seconds(60.0);
+    /// Cadence of the vanilla fallback checks.
+    SimDuration fallback_interval = SimDuration::seconds(60.0);
+  };
+
+  struct Report {
+    ProbeEpisodeResult result = ProbeEpisodeResult::kAborted;
+    SimDuration measured_duration = SimDuration::zero();
+    std::uint32_t rounds = 0;
+    bool reverted_to_fallback = false;
+  };
+  using CompletionCallback = std::function<void(const Report&)>;
+
+  NetworkStateProber(Simulator& sim, NetworkStack& stack);
+  NetworkStateProber(Simulator& sim, NetworkStack& stack, Config config);
+
+  NetworkStateProber(const NetworkStateProber&) = delete;
+  NetworkStateProber& operator=(const NetworkStateProber&) = delete;
+
+  /// Begins probing a stall first suspected at `stall_started`. `on_done`
+  /// fires exactly once. Only one episode may run at a time.
+  void start(SimTime stall_started, CompletionCallback on_done);
+
+  /// Cancels the episode (e.g. the detector withdrew the suspicion).
+  void abort();
+
+  bool active() const { return active_; }
+  std::uint64_t total_probe_messages() const { return messages_sent_; }
+  std::uint64_t total_probe_bytes() const { return bytes_sent_; }
+
+ private:
+  struct RoundState {
+    bool localhost_answered = false;
+    bool localhost_done = false;
+    std::uint32_t dns_icmp_answered = 0;
+    std::uint32_t dns_icmp_done = 0;
+    std::uint32_t dns_query_answered = 0;
+    std::uint32_t dns_query_done = 0;
+    std::uint32_t expected_dns = 0;
+  };
+
+  void run_round();
+  void round_probe_done();
+  void classify_round();
+  void fallback_check();
+  void finish(ProbeEpisodeResult result);
+
+  Simulator& sim_;
+  NetworkStack& stack_;
+  Config config_;
+  CompletionCallback on_done_;
+  RoundState round_;
+  ScheduledEvent pending_fallback_;
+  SimTime stall_started_;
+  SimDuration icmp_timeout_;
+  SimDuration dns_timeout_;
+  std::uint32_t rounds_ = 0;
+  std::uint64_t generation_ = 0;  // invalidates in-flight probe callbacks
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  bool active_ = false;
+  bool fallback_mode_ = false;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_CORE_PROBER_H

@@ -1,0 +1,50 @@
+#include "core/trace.h"
+
+#include <cstdio>
+
+namespace cellrel {
+
+std::string_view to_string(DurationMethod m) {
+  switch (m) {
+    case DurationMethod::kNone: return "none";
+    case DurationMethod::kProbing: return "probing";
+    case DurationMethod::kAndroidFallback: return "android-fallback";
+    case DurationMethod::kStateTracking: return "state-tracking";
+  }
+  return "?";
+}
+
+std::string trace_csv_header() {
+  return "device,model,isp,type,at_s,duration_s,method,rat,level,bs,cell,apn,"
+         "cause,filtered,probe_rounds";
+}
+
+std::string to_csv(const TraceRecord& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%llu,%d,%s,%s,%.3f,%.3f,%s,%s,%zu,%u,",
+                static_cast<unsigned long long>(r.device), r.model_id,
+                std::string(to_string(r.isp)).c_str(), std::string(to_string(r.type)).c_str(),
+                r.at.to_seconds(), r.duration.to_seconds(),
+                std::string(to_string(r.duration_method)).c_str(),
+                std::string(to_string(r.rat)).c_str(), index_of(r.level), r.bs);
+  std::string line = buf;
+  line += to_string(r.cell);
+  line += ',';
+  line += r.apn;
+  line += ',';
+  line += to_string(r.cause);
+  line += ',';
+  line += r.filtered_false_positive ? '1' : '0';
+  line += ',';
+  line += std::to_string(r.probe_rounds);
+  return line;
+}
+
+std::size_t compressed_record_bytes(const TraceRecord& record) {
+  // Empirically, the fixed fields compress to ~30 bytes and the variable
+  // context (cell identity, APN, cause name) to about a third of its text.
+  const std::size_t text = to_csv(record).size();
+  return 30 + (text > 90 ? (text - 90) / 3 : 0);
+}
+
+}  // namespace cellrel

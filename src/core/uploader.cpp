@@ -1,0 +1,25 @@
+#include "core/uploader.h"
+
+namespace cellrel {
+
+void TraceUploader::submit(TraceRecord record) {
+  buffer_.push_back(std::move(record));
+  if (wifi_) flush();
+}
+
+void TraceUploader::flush() {
+  if (buffer_.empty()) return;
+  std::uint64_t bytes = 0;
+  for (const auto& r : buffer_) bytes += compressed_record_bytes(r);
+  bytes += 64;  // per-batch envelope
+  uploaded_records_ += buffer_.size();
+  uploaded_bytes_ += bytes;
+  if (sink_) {
+    sink_(std::move(buffer_));
+    buffer_ = {};
+  } else {
+    buffer_.clear();
+  }
+}
+
+}  // namespace cellrel

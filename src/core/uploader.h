@@ -1,0 +1,53 @@
+// WiFi-gated trace uploader (§2.2-2.3).
+//
+// Records are compressed and buffered on the device; "the recorded data are
+// uploaded to our backend server only when there is WiFi connectivity".
+
+#ifndef CELLREL_CORE_UPLOADER_H
+#define CELLREL_CORE_UPLOADER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace cellrel {
+
+/// Buffers records and flushes them when WiFi is available.
+class TraceUploader {
+ public:
+  /// Receives every uploaded batch (the "backend server").
+  using Sink = std::function<void(std::vector<TraceRecord>&&)>;
+
+  explicit TraceUploader(Sink sink) : sink_(std::move(sink)) {}
+
+  void set_wifi_available(bool available) {
+    wifi_ = available;
+    if (wifi_) flush();
+  }
+  bool wifi_available() const { return wifi_; }
+
+  /// Enqueues one record; uploads immediately when WiFi is up.
+  void submit(TraceRecord record);
+
+  /// Forces a flush regardless of WiFi (end-of-campaign drain; the bytes
+  /// are still accounted as WiFi uploads since the campaign idles devices
+  /// on WiFi overnight).
+  void flush();
+
+  std::size_t buffered() const { return buffer_.size(); }
+  std::uint64_t uploaded_records() const { return uploaded_records_; }
+  std::uint64_t uploaded_bytes() const { return uploaded_bytes_; }
+
+ private:
+  Sink sink_;
+  std::vector<TraceRecord> buffer_;
+  bool wifi_ = false;
+  std::uint64_t uploaded_records_ = 0;
+  std::uint64_t uploaded_bytes_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_CORE_UPLOADER_H

@@ -1,0 +1,43 @@
+#include "device/device.h"
+
+#include <array>
+
+namespace cellrel {
+
+PopulationBuilder::PopulationBuilder() = default;
+
+std::vector<DeviceProfile> PopulationBuilder::build(std::size_t count, Rng& rng) const {
+  std::vector<DeviceProfile> fleet;
+  fleet.reserve(count);
+  const std::array<double, kIspCount> isp_weights = {
+      isp_profile(IspId::kIspA).subscriber_share,
+      isp_profile(IspId::kIspB).subscriber_share,
+      isp_profile(IspId::kIspC).subscriber_share,
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    DeviceProfile d;
+    d.id = i + 1;
+    d.model = &model_sampler_.sample(rng);
+    d.isp = kAllIsps[rng.discrete(isp_weights)];
+    // Heavy-tailed susceptibility with unit median: most failing devices see
+    // a handful of failures, a few see tens of thousands.
+    d.susceptibility = rng.lognormal(0.0, 1.1);
+    d.failure_free = !rng.bernoulli(d.model->paper_prevalence);
+    if (d.model->has_5g) {
+      // Early 5G adopters live where NR is deployed: dense urban cores and
+      // transport hubs.
+      d.mobility.location_weights = {0.35, 0.40, 0.10, 0.05, 0.09, 0.01};
+    } else if (rng.bernoulli(0.08)) {
+      // Users of remote regions exist but are rare; skew a small fraction
+      // of profiles towards rural/remote classes.
+      d.mobility.location_weights = {0.0, 0.05, 0.15, 0.55, 0.01, 0.24};
+    } else if (rng.bernoulli(0.15)) {
+      // Commuters: frequent transport-hub presence.
+      d.mobility.location_weights = {0.20, 0.35, 0.15, 0.05, 0.24, 0.01};
+    }
+    fleet.push_back(d);
+  }
+  return fleet;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,60 @@
+// A subscriber device: phone model + ISP subscription + mobility profile.
+
+#ifndef CELLREL_DEVICE_DEVICE_H
+#define CELLREL_DEVICE_DEVICE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bs/base_station.h"
+#include "bs/isp.h"
+#include "common/rng.h"
+#include "device/phone_model.h"
+
+namespace cellrel {
+
+using DeviceId = std::uint64_t;
+
+/// How a user moves between location classes over a day; each profile is a
+/// discrete distribution over LocationClass used when (re)selecting cells.
+struct MobilityProfile {
+  // Weight per LocationClass index (kAllLocationClasses order).
+  std::array<double, 6> location_weights = {0.15, 0.40, 0.25, 0.15, 0.04, 0.01};
+
+  LocationClass sample(Rng& rng) const {
+    return kAllLocationClasses[rng.discrete(location_weights)];
+  }
+};
+
+/// Immutable identity + profile of a participating device.
+struct DeviceProfile {
+  DeviceId id = 0;
+  const PhoneModelSpec* model = nullptr;
+  IspId isp = IspId::kIspA;
+  MobilityProfile mobility;
+  /// Per-device susceptibility multiplier on failure hazards; heavy-tailed
+  /// so a small fraction of devices experiences tens of thousands of
+  /// failures (§2.2 reports 40,000+/month outliers).
+  double susceptibility = 1.0;
+  /// True for devices that never experience failures during the campaign
+  /// (the 77% majority); drawn per-model from the calibrated prevalence.
+  bool failure_free = false;
+};
+
+/// Builds the participating fleet.
+class PopulationBuilder {
+ public:
+  PopulationBuilder();
+
+  /// Samples `count` device profiles. Model by user share, ISP by
+  /// subscriber share, susceptibility lognormal, failure_free by the
+  /// model's calibrated prevalence.
+  std::vector<DeviceProfile> build(std::size_t count, Rng& rng) const;
+
+ private:
+  PhoneModelSampler model_sampler_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_DEVICE_DEVICE_H

@@ -1,0 +1,96 @@
+// Device network-stack simulator with fault injection.
+//
+// Android-MOD's probing component (§2.2) distinguishes three situations when
+// a Data_Stall is suspected:
+//   * system-side fault  — ICMP to 127.0.0.1 times out (firewall misconfig,
+//     broken proxy, wedged modem driver)  -> false positive;
+//   * resolver fault     — DNS queries time out but ICMP to the DNS servers
+//     answers                              -> false positive;
+//   * network-side stall — everything towards the network times out
+//                                          -> true Data_Stall.
+// This class simulates exactly those observable behaviours, driven by an
+// injected fault state, on top of the discrete-event simulator.
+
+#ifndef CELLREL_NET_NETWORK_STACK_H
+#define CELLREL_NET_NETWORK_STACK_H
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "sim/event_queue.h"
+
+namespace cellrel {
+
+/// Injected condition of the device's data path.
+enum class NetworkFault : std::uint8_t {
+  kNone = 0,            // healthy: everything answers
+  kNetworkStall,        // true Data_Stall: nothing beyond the device answers
+  kFirewallMisconfig,   // system-side: even localhost unreachable
+  kProxyBroken,         // system-side: localhost unreachable (userspace path)
+  kModemDriverWedged,   // system-side: localhost probe path broken
+  kDnsOutage,           // resolver-side: DNS dead, ICMP to resolver fine
+};
+
+std::string_view to_string(NetworkFault fault);
+
+/// True when the fault lives on the device (probing classifies it as a
+/// false positive rather than a cellular failure).
+constexpr bool is_system_side(NetworkFault f) {
+  return f == NetworkFault::kFirewallMisconfig || f == NetworkFault::kProxyBroken ||
+         f == NetworkFault::kModemDriverWedged;
+}
+
+/// Result of one probe (ICMP echo or DNS query).
+struct ProbeOutcome {
+  bool answered = false;
+  SimDuration elapsed = SimDuration::zero();  // RTT if answered, else timeout
+};
+
+/// The device-side network stack the prober exercises.
+class NetworkStack {
+ public:
+  NetworkStack(Simulator& sim, Rng rng);
+
+  NetworkStack(const NetworkStack&) = delete;
+  NetworkStack& operator=(const NetworkStack&) = delete;
+
+  /// Current injected fault; the campaign flips this when synthesizing
+  /// stalls and device-side problems.
+  NetworkFault fault() const { return fault_; }
+  void inject_fault(NetworkFault fault) { fault_ = fault; }
+
+  /// Addresses of the DNS servers assigned to the device (typically 2).
+  std::size_t dns_server_count() const { return dns_server_count_; }
+  void set_dns_server_count(std::size_t n) { dns_server_count_ = n ? n : 1; }
+
+  using ProbeCallback = std::function<void(const ProbeOutcome&)>;
+
+  /// ICMP echo to 127.0.0.1; `timeout` per §2.2 defaults to 1 s at callers.
+  void icmp_localhost(SimDuration timeout, ProbeCallback cb);
+
+  /// ICMP echo to the i-th assigned DNS server.
+  void icmp_dns_server(std::size_t server, SimDuration timeout, ProbeCallback cb);
+
+  /// DNS query (for the dedicated test server's name) to the i-th server.
+  void dns_query(std::size_t server, SimDuration timeout, ProbeCallback cb);
+
+  /// Number of probe messages sent (network-overhead accounting).
+  std::uint64_t probes_sent() const { return probes_sent_; }
+
+ private:
+  void answer(bool reachable, SimDuration rtt_mean, SimDuration timeout, ProbeCallback cb);
+
+  Simulator& sim_;
+  Rng rng_;
+  NetworkFault fault_ = NetworkFault::kNone;
+  std::size_t dns_server_count_ = 2;
+  std::uint64_t probes_sent_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_NET_NETWORK_STACK_H

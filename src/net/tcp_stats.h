@@ -1,0 +1,53 @@
+// Kernel-style TCP segment accounting.
+//
+// Android's Data_Stall detector is driven by the Linux kernel's per-window
+// TCP statistics: "over 10 outbound TCP segments but not a single inbound
+// TCP segment during the last minute" (§2.1). This class reproduces that
+// accounting: callers report segment sends/receives with timestamps and the
+// detector queries counts over a trailing window.
+
+#ifndef CELLREL_NET_TCP_STATS_H
+#define CELLREL_NET_TCP_STATS_H
+
+#include <cstdint>
+#include <deque>
+
+#include "common/sim_time.h"
+
+namespace cellrel {
+
+/// Sliding-window counters of TCP segments seen by the network stack.
+class TcpSegmentCounters {
+ public:
+  /// `window`: how far back queries look (Android uses one minute).
+  explicit TcpSegmentCounters(SimDuration window = SimDuration::minutes(1));
+
+  void on_segment_sent(SimTime now);
+  void on_segment_received(SimTime now);
+
+  /// Counts within (now - window, now].
+  std::uint64_t sent_in_window(SimTime now) const;
+  std::uint64_t received_in_window(SimTime now) const;
+
+  /// Android's stall predicate: > `sent_threshold` outbound and zero inbound
+  /// segments within the window.
+  bool stall_suspected(SimTime now, std::uint64_t sent_threshold = 10) const;
+
+  std::uint64_t total_sent() const { return total_sent_; }
+  std::uint64_t total_received() const { return total_received_; }
+
+  SimDuration window() const { return window_; }
+
+ private:
+  void expire(SimTime now) const;
+
+  SimDuration window_;
+  mutable std::deque<SimTime> sent_;
+  mutable std::deque<SimTime> received_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_received_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_NET_TCP_STATS_H

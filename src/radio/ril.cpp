@@ -1,0 +1,54 @@
+#include "radio/ril.h"
+
+#include <algorithm>
+
+namespace cellrel {
+
+RadioInterfaceLayer::RadioInterfaceLayer(Simulator& sim, Rng rng)
+    : sim_(sim), modem_(rng) {}
+
+std::uint64_t RadioInterfaceLayer::dispatch(ModemResult result, ResponseCallback cb) {
+  const std::uint64_t serial = next_serial_++;
+  sim_.schedule_after(result.latency, [result, cb = std::move(cb)] { cb(result); });
+  return serial;
+}
+
+std::uint64_t RadioInterfaceLayer::setup_data_call(ResponseCallback cb) {
+  return dispatch(modem_.setup_data_call(channel_), std::move(cb));
+}
+
+std::uint64_t RadioInterfaceLayer::deactivate_data_call(ResponseCallback cb) {
+  return dispatch(modem_.deactivate_data_call(), std::move(cb));
+}
+
+std::uint64_t RadioInterfaceLayer::reregister(ResponseCallback cb) {
+  return dispatch(modem_.reregister(channel_), std::move(cb));
+}
+
+std::uint64_t RadioInterfaceLayer::restart_radio(ResponseCallback cb) {
+  return dispatch(modem_.restart_radio(), std::move(cb));
+}
+
+void RadioInterfaceLayer::add_listener(RilIndicationListener* l) {
+  if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
+    listeners_.push_back(l);
+  }
+}
+
+void RadioInterfaceLayer::remove_listener(RilIndicationListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l), listeners_.end());
+}
+
+void RadioInterfaceLayer::indicate_signal_strength(const SignalMeasurement& m) {
+  for (auto* l : listeners_) l->on_signal_strength_changed(m);
+}
+
+void RadioInterfaceLayer::indicate_service_lost() {
+  for (auto* l : listeners_) l->on_service_lost();
+}
+
+void RadioInterfaceLayer::indicate_service_restored() {
+  for (auto* l : listeners_) l->on_service_restored();
+}
+
+}  // namespace cellrel

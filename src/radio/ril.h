@@ -1,0 +1,83 @@
+// Radio Interface Layer (RIL) simulator.
+//
+// In Android, the framework talks to the baseband through the RIL: an async
+// command/response channel plus unsolicited indications (signal strength
+// changed, service state changed). This class reproduces that contract on
+// top of the discrete-event simulator: commands complete after the modem's
+// latency, responses arrive via callbacks, and listeners receive unsolicited
+// indications. The telephony layer (DcTracker etc.) is written against this
+// interface exactly as the framework is written against the real RIL.
+
+#ifndef CELLREL_RADIO_RIL_H
+#define CELLREL_RADIO_RIL_H
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "radio/modem.h"
+#include "sim/event_queue.h"
+
+namespace cellrel {
+
+/// Listener for unsolicited RIL indications.
+class RilIndicationListener {
+ public:
+  virtual ~RilIndicationListener() = default;
+  virtual void on_signal_strength_changed(const SignalMeasurement& m) = 0;
+  virtual void on_service_lost() = 0;
+  virtual void on_service_restored() = 0;
+};
+
+/// Asynchronous command interface to the (simulated) baseband.
+class RadioInterfaceLayer {
+ public:
+  using ResponseCallback = std::function<void(const ModemResult&)>;
+
+  RadioInterfaceLayer(Simulator& sim, Rng rng);
+
+  RadioInterfaceLayer(const RadioInterfaceLayer&) = delete;
+  RadioInterfaceLayer& operator=(const RadioInterfaceLayer&) = delete;
+
+  /// Supplies the channel conditions used by subsequent commands. The
+  /// environment (BS/registry model) refreshes this as the device moves.
+  void update_channel(const ChannelConditions& cond) { channel_ = cond; }
+  const ChannelConditions& channel() const { return channel_; }
+
+  /// Issues SETUP_DATA_CALL; `cb` runs when the modem responds. Returns the
+  /// command serial.
+  std::uint64_t setup_data_call(ResponseCallback cb);
+  std::uint64_t deactivate_data_call(ResponseCallback cb);
+  std::uint64_t reregister(ResponseCallback cb);
+  std::uint64_t restart_radio(ResponseCallback cb);
+
+  /// Direct modem access for power control and state queries.
+  ModemSimulator& modem() { return modem_; }
+  const ModemSimulator& modem() const { return modem_; }
+
+  /// Listener registration (non-owning; caller must outlive the RIL or
+  /// remove itself).
+  void add_listener(RilIndicationListener* l);
+  void remove_listener(RilIndicationListener* l);
+
+  /// Environment hooks: deliver unsolicited indications to listeners.
+  void indicate_signal_strength(const SignalMeasurement& m);
+  void indicate_service_lost();
+  void indicate_service_restored();
+
+  std::uint64_t commands_issued() const { return next_serial_; }
+
+ private:
+  std::uint64_t dispatch(ModemResult result, ResponseCallback cb);
+
+  Simulator& sim_;
+  ModemSimulator modem_;
+  ChannelConditions channel_;
+  std::vector<RilIndicationListener*> listeners_;
+  std::uint64_t next_serial_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_RADIO_RIL_H

@@ -1,0 +1,59 @@
+#include "radio/signal.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cellrel {
+
+namespace {
+
+// Per-RAT level edges in dBm: level i spans [edges[i], edges[i+1]).
+// Values follow Android's LTE RSRP buckets (-128/-118/-108/-98/-88 with a
+// -78 "excellent" cut), shifted for the measurement scales of the other
+// generations (GSM RSSI, UMTS RSCP, NR SS-RSRP).
+struct LevelEdges {
+  std::array<double, 7> edges;
+};
+
+constexpr LevelEdges edges_for(Rat rat) {
+  switch (rat) {
+    case Rat::k2G:  // GSM RSSI
+      return {{-113.0, -107.0, -103.0, -97.0, -89.0, -80.0, -51.0}};
+    case Rat::k3G:  // UMTS RSCP
+      return {{-120.0, -115.0, -105.0, -95.0, -87.0, -78.0, -24.0}};
+    case Rat::k4G:  // LTE RSRP
+      return {{-140.0, -128.0, -118.0, -108.0, -98.0, -88.0, -44.0}};
+    case Rat::k5G:  // NR SS-RSRP
+      return {{-140.0, -125.0, -115.0, -105.0, -95.0, -85.0, -44.0}};
+  }
+  return {{-140.0, -128.0, -118.0, -108.0, -98.0, -88.0, -44.0}};
+}
+
+}  // namespace
+
+SignalLevel signal_level_from_dbm(Rat rat, double dbm) {
+  const auto [edges] = edges_for(rat);
+  for (std::size_t level = kSignalLevelCount; level-- > 0;) {
+    if (dbm >= edges[level]) return signal_level_from_index(level);
+  }
+  return SignalLevel::kLevel0;
+}
+
+double representative_dbm(Rat rat, SignalLevel level) {
+  const auto [edges] = edges_for(rat);
+  const std::size_t i = index_of(level);
+  return (edges[i] + edges[i + 1]) / 2.0;
+}
+
+SignalMeasurement sample_measurement(Rat rat, SignalLevel level, Rng& rng) {
+  const auto [edges] = edges_for(rat);
+  const std::size_t i = index_of(level);
+  SignalMeasurement m;
+  m.rat = rat;
+  m.dbm = rng.uniform(edges[i], edges[i + 1]);
+  m.level = level;
+  assert(signal_level_from_dbm(rat, m.dbm) == level);
+  return m;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,62 @@
+// Received signal strength (RSS) model.
+//
+// Android buckets raw signal measurements into discrete levels; the paper
+// uses levels 0 (worst) .. 5 (excellent). The mapping from dBm to level
+// follows the LTE RSRP thresholds in Android's CellSignalStrengthLte with a
+// sixth bucket for "excellent", and analogous thresholds for the other RATs.
+
+#ifndef CELLREL_RADIO_SIGNAL_H
+#define CELLREL_RADIO_SIGNAL_H
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.h"
+#include "radio/rat.h"
+
+namespace cellrel {
+
+/// Discrete signal level 0..5 as used throughout the paper's figures.
+enum class SignalLevel : std::uint8_t {
+  kLevel0 = 0,  // none / unusable
+  kLevel1 = 1,  // poor
+  kLevel2 = 2,  // moderate
+  kLevel3 = 3,  // good
+  kLevel4 = 4,  // great
+  kLevel5 = 5,  // excellent
+};
+
+inline constexpr std::size_t kSignalLevelCount = 6;
+inline constexpr std::array<SignalLevel, kSignalLevelCount> kAllSignalLevels = {
+    SignalLevel::kLevel0, SignalLevel::kLevel1, SignalLevel::kLevel2,
+    SignalLevel::kLevel3, SignalLevel::kLevel4, SignalLevel::kLevel5,
+};
+
+constexpr std::size_t index_of(SignalLevel l) { return static_cast<std::size_t>(l); }
+
+constexpr SignalLevel signal_level_from_index(std::size_t i) {
+  return static_cast<SignalLevel>(i < kSignalLevelCount ? i : kSignalLevelCount - 1);
+}
+
+/// Maps a raw reference-signal power measurement (dBm) to a level for the
+/// given RAT. Thresholds mirror Android's signal-strength bucketing with a
+/// dedicated "excellent" bucket (level 5).
+SignalLevel signal_level_from_dbm(Rat rat, double dbm);
+
+/// Representative dBm for a level (bucket midpoint); inverse of the above
+/// in the bucket-midpoint sense. Used when synthesizing measurements.
+double representative_dbm(Rat rat, SignalLevel level);
+
+/// A point-in-time signal measurement from the modem.
+struct SignalMeasurement {
+  Rat rat = Rat::k4G;
+  double dbm = -140.0;
+  SignalLevel level = SignalLevel::kLevel0;
+};
+
+/// Samples a plausible dBm within the level's bucket (uniform).
+SignalMeasurement sample_measurement(Rat rat, SignalLevel level, Rng& rng);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_RADIO_SIGNAL_H

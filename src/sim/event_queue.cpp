@@ -1,0 +1,68 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace cellrel {
+
+void ScheduledEvent::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+bool ScheduledEvent::pending() const {
+  return state_ && !state_->cancelled && !state_->fired;
+}
+
+ScheduledEvent Simulator::schedule_at(SimTime at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
+  auto state = std::make_shared<ScheduledEvent::State>();
+  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return ScheduledEvent{std::move(state)};
+}
+
+ScheduledEvent Simulator::schedule_after(SimDuration delay, std::function<void()> fn) {
+  if (delay.is_negative()) throw std::invalid_argument("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::fire(Entry& e) {
+  assert(e.time >= now_);
+  now_ = e.time;
+  if (e.state->cancelled) return false;
+  e.state->fired = true;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulator::run() {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (fire(e)) ++fired;
+  }
+  return fired;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (fire(e)) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (fire(e)) return true;
+  }
+  return false;
+}
+
+}  // namespace cellrel

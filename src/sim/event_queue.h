@@ -1,0 +1,96 @@
+// Discrete-event simulation engine.
+//
+// A Simulator owns a priority queue of timestamped events. Components
+// schedule callbacks at absolute times or after delays and receive a
+// ScheduledEvent handle that can cancel the callback (e.g. a Data_Stall
+// recovery probation that is aborted because the stall resolved on its own).
+// Ties are broken by insertion order so runs are fully deterministic.
+
+#ifndef CELLREL_SIM_EVENT_QUEUE_H
+#define CELLREL_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace cellrel {
+
+class Simulator;
+
+/// A cancellable handle to a scheduled callback. Copies share the same
+/// underlying event; cancelling any copy cancels the event.
+class ScheduledEvent {
+ public:
+  ScheduledEvent() = default;
+
+  /// Prevents the callback from running; a no-op if it already ran.
+  void cancel();
+
+  /// True if the callback has neither run nor been cancelled.
+  bool pending() const;
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit ScheduledEvent(std::shared_ptr<State> state) : state_(std::move(state)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// The simulation clock and event dispatcher.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `at` (>= now).
+  ScheduledEvent schedule_at(SimTime at, std::function<void()> fn);
+
+  /// Schedules `fn` to run after `delay` (>= 0).
+  ScheduledEvent schedule_after(SimDuration delay, std::function<void()> fn);
+
+  /// Runs events until the queue drains. Returns the number of events fired.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; the clock ends at `deadline` even if
+  /// the queue drained earlier. Returns the number of events fired.
+  std::size_t run_until(SimTime deadline);
+
+  /// Fires at most one event. Returns false if the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<ScheduledEvent::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire(Entry& e);
+
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_SIM_EVENT_QUEUE_H

@@ -1,0 +1,58 @@
+#include "telephony/apn.h"
+
+#include <algorithm>
+
+namespace cellrel {
+
+std::string_view to_string(ApnType type) {
+  switch (type) {
+    case ApnType::kDefault: return "default";
+    case ApnType::kMms: return "mms";
+    case ApnType::kSupl: return "supl";
+    case ApnType::kIms: return "ims";
+    case ApnType::kEmergency: return "emergency";
+  }
+  return "?";
+}
+
+ApnManager ApnManager::for_isp(IspId isp) {
+  switch (isp) {
+    case IspId::kIspA:
+      return ApnManager{{
+          {"cmnet", ApnType::kDefault | ApnType::kSupl, true, 0},
+          {"cmwap", static_cast<std::uint8_t>(ApnType::kMms), true, 1},
+          {"ims", static_cast<std::uint8_t>(ApnType::kIms), true, 0},
+      }};
+    case IspId::kIspB:
+      return ApnManager{{
+          {"ctnet", ApnType::kDefault | ApnType::kSupl, true, 0},
+          {"ctwap", static_cast<std::uint8_t>(ApnType::kMms), true, 1},
+          {"ctims", static_cast<std::uint8_t>(ApnType::kIms), true, 0},
+      }};
+    case IspId::kIspC:
+      return ApnManager{{
+          {"3gnet", ApnType::kDefault | ApnType::kSupl, true, 0},
+          {"3gwap", static_cast<std::uint8_t>(ApnType::kMms), true, 1},
+          {"ims", static_cast<std::uint8_t>(ApnType::kIms), true, 0},
+      }};
+  }
+  return ApnManager{{{"internet", static_cast<std::uint8_t>(ApnType::kDefault), true, 0}}};
+}
+
+ApnManager::ApnManager(std::vector<ApnSetting> apns) : apns_(std::move(apns)) {
+  std::stable_sort(apns_.begin(), apns_.end(),
+                   [](const ApnSetting& a, const ApnSetting& b) {
+                     return a.priority < b.priority;
+                   });
+}
+
+std::optional<ApnSetting> ApnManager::select(ApnType type, bool roaming) const {
+  for (const auto& apn : apns_) {
+    if (!apn.supports(type)) continue;
+    if (roaming && !apn.roaming_allowed) continue;
+    return apn;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,74 @@
+// Access Point Name (APN) management.
+//
+// Android resolves the APN used for each data connection from the carrier's
+// APN list by connection type; the study records the APN among the in-situ
+// context of every failure (§2.2). We model the three ISPs' real APN sets
+// and Android's type-based selection, including the IMS APN used for VoLTE
+// and the fallback order when the preferred APN is misconfigured.
+
+#ifndef CELLREL_TELEPHONY_APN_H
+#define CELLREL_TELEPHONY_APN_H
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bs/isp.h"
+
+namespace cellrel {
+
+/// Connection classes an APN can serve (bitmask), mirroring Android's
+/// ApnSetting TYPE_* constants.
+enum class ApnType : std::uint8_t {
+  kDefault = 1 << 0,  // general internet
+  kMms = 1 << 1,      // multimedia messaging
+  kSupl = 1 << 2,     // location
+  kIms = 1 << 3,      // VoLTE / RCS signalling
+  kEmergency = 1 << 4,
+};
+
+constexpr std::uint8_t operator|(ApnType a, ApnType b) {
+  return static_cast<std::uint8_t>(static_cast<std::uint8_t>(a) |
+                                   static_cast<std::uint8_t>(b));
+}
+
+std::string_view to_string(ApnType type);
+
+/// One carrier APN entry.
+struct ApnSetting {
+  std::string name;           // e.g. "cmnet"
+  std::uint8_t types = 0;     // ApnType bitmask
+  bool roaming_allowed = true;
+  /// Preference order within the carrier list (lower wins).
+  int priority = 0;
+
+  bool supports(ApnType type) const {
+    return types & static_cast<std::uint8_t>(type);
+  }
+};
+
+/// The carrier APN list with Android's type-based selection.
+class ApnManager {
+ public:
+  /// Builds the stock APN list for an ISP (the real Chinese carrier names:
+  /// cmnet/cmwap for ISP-A, ctnet/ctwap for ISP-B, 3gnet/3gwap for ISP-C).
+  static ApnManager for_isp(IspId isp);
+
+  explicit ApnManager(std::vector<ApnSetting> apns);
+
+  /// Highest-priority APN supporting `type`; nullopt when none matches.
+  std::optional<ApnSetting> select(ApnType type, bool roaming = false) const;
+
+  /// All configured entries (priority order).
+  std::span<const ApnSetting> all() const { return apns_; }
+
+ private:
+  std::vector<ApnSetting> apns_;  // sorted by priority
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_APN_H

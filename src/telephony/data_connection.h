@@ -1,0 +1,66 @@
+// The data-connection life-cycle state machine (paper Fig. 1).
+//
+// Android models each cellular data connection with five states: Inactive,
+// Activating, Retrying, Active, and Disconnect. We reproduce the machine
+// with explicit transition validation so illegal framework behaviour is a
+// programming error caught in tests, and with observer callbacks the rest
+// of the stack (DcTracker, monitoring service) hooks into.
+
+#ifndef CELLREL_TELEPHONY_DATA_CONNECTION_H
+#define CELLREL_TELEPHONY_DATA_CONNECTION_H
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace cellrel {
+
+/// The five connection states of Fig. 1.
+enum class DcState : std::uint8_t {
+  kInactive = 0,
+  kActivating = 1,
+  kRetrying = 2,
+  kActive = 3,
+  kDisconnect = 4,
+};
+
+std::string_view to_string(DcState s);
+
+/// Valid transitions of the Fig. 1 machine.
+bool dc_transition_allowed(DcState from, DcState to);
+
+/// One data connection's state with transition enforcement and observers.
+class DataConnection {
+ public:
+  using Observer = std::function<void(DcState from, DcState to, SimTime at)>;
+
+  DataConnection() = default;
+
+  DcState state() const { return state_; }
+  bool is_active() const { return state_ == DcState::kActive; }
+
+  /// Moves to `next`; throws std::logic_error on an illegal transition.
+  void transition(DcState next, SimTime at);
+
+  /// Registers an observer invoked after every successful transition.
+  void observe(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  /// Counters for analysis / invariant checks.
+  std::uint64_t transition_count() const { return transitions_; }
+  std::uint64_t retry_count() const { return retries_; }
+  SimTime last_transition_at() const { return last_transition_; }
+
+ private:
+  DcState state_ = DcState::kInactive;
+  std::vector<Observer> observers_;
+  std::uint64_t transitions_ = 0;
+  std::uint64_t retries_ = 0;
+  SimTime last_transition_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_DATA_CONNECTION_H

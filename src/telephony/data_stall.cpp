@@ -1,0 +1,83 @@
+#include "telephony/data_stall.h"
+
+#include <algorithm>
+
+namespace cellrel {
+
+DataStallDetector::DataStallDetector(Simulator& sim, const TcpSegmentCounters& tcp,
+                                     const NetworkStack& stack)
+    : DataStallDetector(sim, tcp, stack, Config{}) {}
+
+DataStallDetector::DataStallDetector(Simulator& sim, const TcpSegmentCounters& tcp,
+                                     const NetworkStack& stack, Config config)
+    : sim_(sim), tcp_(tcp), stack_(stack), config_(config) {}
+
+void DataStallDetector::add_listener(FailureEventListener* l) {
+  if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
+    listeners_.push_back(l);
+  }
+}
+
+void DataStallDetector::remove_listener(FailureEventListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l), listeners_.end());
+}
+
+void DataStallDetector::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void DataStallDetector::stop() {
+  running_ = false;
+  next_check_.cancel();
+}
+
+void DataStallDetector::schedule_next() {
+  if (!running_) return;
+  next_check_ = sim_.schedule_after(config_.check_interval, [this] {
+    check();
+    schedule_next();
+  });
+}
+
+void DataStallDetector::poll_now() { check(); }
+
+FalsePositiveKind DataStallDetector::ground_truth() const {
+  switch (stack_.fault()) {
+    case NetworkFault::kFirewallMisconfig:
+    case NetworkFault::kProxyBroken:
+    case NetworkFault::kModemDriverWedged:
+      return FalsePositiveKind::kSystemSideStall;
+    case NetworkFault::kDnsOutage:
+      return FalsePositiveKind::kDnsResolutionOnly;
+    default:
+      return FalsePositiveKind::kNone;
+  }
+}
+
+void DataStallDetector::check() {
+  const SimTime now = sim_.now();
+  const bool suspected = tcp_.stall_suspected(now, config_.sent_threshold);
+  if (suspected && !episode_active_) {
+    episode_active_ = true;
+    episode_started_ = now;
+    ++episodes_;
+    FailureEvent event;
+    event.type = FailureType::kDataStall;
+    event.at = now;
+    if (cell_source_) {
+      const CellContext ctx = cell_source_();
+      event.rat = ctx.rat;
+      event.level = ctx.level;
+      event.bs = ctx.bs;
+    }
+    event.ground_truth_fp = ground_truth();
+    for (auto* l : listeners_) l->on_failure_event(event);
+  } else if (!suspected && episode_active_) {
+    episode_active_ = false;
+    for (auto* l : listeners_) l->on_failure_cleared(FailureType::kDataStall, now);
+  }
+}
+
+}  // namespace cellrel

@@ -1,0 +1,153 @@
+#include "telephony/dc_tracker.h"
+
+#include <algorithm>
+
+namespace cellrel {
+
+DcTracker::DcTracker(Simulator& sim, RadioInterfaceLayer& ril)
+    : DcTracker(sim, ril, Config{}) {}
+
+DcTracker::DcTracker(Simulator& sim, RadioInterfaceLayer& ril, Config config)
+    : sim_(sim), ril_(ril), config_(std::move(config)) {}
+
+void DcTracker::add_listener(FailureEventListener* l) {
+  if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
+    listeners_.push_back(l);
+  }
+}
+
+void DcTracker::remove_listener(FailureEventListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l), listeners_.end());
+}
+
+void DcTracker::report(const FailureEvent& event) {
+  for (auto* l : listeners_) l->on_failure_event(event);
+}
+
+void DcTracker::request_data() {
+  want_data_ = true;
+  if (dc_.state() == DcState::kInactive) {
+    consecutive_failures_ = 0;
+    attempt_setup();
+  }
+}
+
+void DcTracker::attempt_setup() {
+  if (!want_data_) return;
+  if (dc_.state() == DcState::kInactive || dc_.state() == DcState::kRetrying) {
+    dc_.transition(DcState::kActivating, sim_.now());
+  }
+  ++setup_attempts_;
+  ril_.setup_data_call([this](const ModemResult& r) { on_setup_response(r); });
+}
+
+FalsePositiveKind DcTracker::classify_ground_truth(const ModemResult& result) const {
+  if (result.rational_rejection) return FalsePositiveKind::kBsOverloadRejection;
+  if (balance_suspended_) return FalsePositiveKind::kInsufficientBalance;
+  if (voice_disruption_pending_) return FalsePositiveKind::kIncomingVoiceCall;
+  return FalsePositiveKind::kNone;
+}
+
+void DcTracker::on_setup_response(const ModemResult& result) {
+  if (dc_.state() != DcState::kActivating) return;  // torn down mid-flight
+  ModemResult r = result;
+  // Account suspension overrides any radio-level outcome: the operator barrs
+  // the subscriber regardless of channel health.
+  if (balance_suspended_) {
+    r.success = false;
+    r.cause = FailCause::kOperatorDeterminedBarring;
+  }
+  if (r.success) {
+    consecutive_failures_ = 0;
+    voice_disruption_pending_ = false;
+    dc_.transition(DcState::kActive, sim_.now());
+    return;
+  }
+
+  ++setup_failures_;
+  FailureEvent event;
+  event.type = FailureType::kDataSetupError;
+  event.at = sim_.now();
+  event.rat = cell_.rat;
+  event.level = cell_.level;
+  event.bs = cell_.bs;
+  event.cause = r.cause;
+  event.ground_truth_fp = classify_ground_truth(r);
+  report(event);
+  voice_disruption_pending_ = false;
+
+  ++consecutive_failures_;
+  dc_.transition(DcState::kRetrying, sim_.now());
+  // Progressive backoff: 2^(n-1) * first_delay, capped.
+  double factor = 1.0;
+  for (std::uint32_t i = 1; i < consecutive_failures_ && factor < 64.0; ++i) factor *= 2.0;
+  SimDuration delay = config_.first_retry_delay * factor;
+  delay = std::min(delay, config_.max_retry_delay);
+  pending_retry_ = sim_.schedule_after(delay, [this] { attempt_setup(); });
+}
+
+void DcTracker::teardown(bool user_initiated) {
+  want_data_ = false;
+  pending_retry_.cancel();
+  const SimTime now = sim_.now();
+  if (user_initiated && dc_.state() != DcState::kInactive) {
+    // A manual disconnect surfaces as a (false positive) setup error if the
+    // framework races a pending setup against the toggle; we report the
+    // canonical local cause so the filter sees realistic codes. Reported
+    // before the state transitions so listeners observing the connection
+    // see the event inside the episode it belongs to.
+    FailureEvent event;
+    event.type = FailureType::kDataSetupError;
+    event.at = now;
+    event.rat = cell_.rat;
+    event.level = cell_.level;
+    event.bs = cell_.bs;
+    event.cause = FailCause::kDataSettingsDisabled;
+    event.ground_truth_fp = FalsePositiveKind::kManualDisconnect;
+    report(event);
+  }
+  switch (dc_.state()) {
+    case DcState::kActive:
+    case DcState::kActivating:
+      dc_.transition(DcState::kDisconnect, now);
+      dc_.transition(DcState::kInactive, now);
+      break;
+    case DcState::kRetrying:
+      dc_.transition(DcState::kInactive, now);
+      break;
+    default:
+      break;
+  }
+}
+
+void DcTracker::disrupt_by_voice_call() {
+  if (dc_.state() != DcState::kActive) return;
+  const SimTime now = sim_.now();
+  dc_.transition(DcState::kDisconnect, now);
+  dc_.transition(DcState::kInactive, now);
+  voice_disruption_pending_ = true;
+  // The framework immediately tries to re-establish data; on non-DSDA
+  // devices that attempt fails while the voice call holds the radio.
+  FailureEvent event;
+  event.type = FailureType::kDataSetupError;
+  event.at = now;
+  event.rat = cell_.rat;
+  event.level = cell_.level;
+  event.bs = cell_.bs;
+  event.cause = FailCause::kCdmaIncomingCall;
+  event.ground_truth_fp = FalsePositiveKind::kIncomingVoiceCall;
+  report(event);
+  if (want_data_) {
+    // Re-attempt once the (short) voice call would release the channel.
+    pending_retry_ = sim_.schedule_after(SimDuration::seconds(2.0), [this] {
+      voice_disruption_pending_ = false;
+      if (dc_.state() == DcState::kInactive) attempt_setup();
+    });
+  }
+}
+
+void DcTracker::suspend_for_balance() { balance_suspended_ = true; }
+
+void DcTracker::restore_service_account() { balance_suspended_ = false; }
+
+}  // namespace cellrel

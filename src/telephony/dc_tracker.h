@@ -1,0 +1,103 @@
+// DcTracker: the connection-setup driver (Android's DcTracker analogue).
+//
+// Owns the DataConnection state machine, issues SETUP_DATA_CALL through the
+// RIL, reports Data_Setup_Error events to registered listeners (with the
+// protocol error code from the radio), and retries with a progressive
+// backoff — reproducing the control flow of §2.1: "if a user device fails to
+// establish a data connection ... a Data_Setup_Error failure event will be
+// reported to relevant system services; then, a retry attempt will be
+// initiated".
+
+#ifndef CELLREL_TELEPHONY_DC_TRACKER_H
+#define CELLREL_TELEPHONY_DC_TRACKER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "radio/ril.h"
+#include "telephony/data_connection.h"
+#include "telephony/events.h"
+
+namespace cellrel {
+
+/// Cell context the connectivity engine keeps current on the tracker so
+/// failure events carry the right in-situ information.
+struct CellContext {
+  BsIndex bs = kInvalidBs;
+  Rat rat = Rat::k4G;
+  SignalLevel level = SignalLevel::kLevel0;
+};
+
+class DcTracker {
+ public:
+  /// Retry backoff: Android's data-retry config starts at short delays and
+  /// grows; we use 1s * 2^attempt capped at `max_retry_delay`.
+  struct Config {
+    SimDuration first_retry_delay = SimDuration::seconds(1.0);
+    SimDuration max_retry_delay = SimDuration::seconds(45.0);
+    std::string apn = "cmnet";
+  };
+
+  DcTracker(Simulator& sim, RadioInterfaceLayer& ril);
+  DcTracker(Simulator& sim, RadioInterfaceLayer& ril, Config config);
+
+  DcTracker(const DcTracker&) = delete;
+  DcTracker& operator=(const DcTracker&) = delete;
+
+  const DataConnection& connection() const { return dc_; }
+  DataConnection& connection() { return dc_; }
+  const std::string& apn() const { return config_.apn; }
+
+  void set_cell_context(const CellContext& ctx) { cell_ = ctx; }
+  const CellContext& cell_context() const { return cell_; }
+
+  /// Listener registration (the hook Android-MOD instruments).
+  void add_listener(FailureEventListener* l);
+  void remove_listener(FailureEventListener* l);
+
+  /// Starts establishing a data connection (no-op unless Inactive).
+  void request_data();
+
+  /// Stops retrying and tears the connection down. `user_initiated` tags the
+  /// resulting teardown as a manual disconnect for ground truth.
+  void teardown(bool user_initiated = false);
+
+  /// A voice call arrived on a device without concurrent voice+data; the
+  /// data connection drops and the immediate re-setup failure is a false
+  /// positive (§2.2).
+  void disrupt_by_voice_call();
+
+  /// The operator suspended service (insufficient balance). Setups fail
+  /// with OPERATOR_DETERMINED_BARRING until `restore_service_account`.
+  void suspend_for_balance();
+  void restore_service_account();
+
+  std::uint64_t setup_attempts() const { return setup_attempts_; }
+  std::uint64_t setup_failures() const { return setup_failures_; }
+
+ private:
+  void attempt_setup();
+  void on_setup_response(const ModemResult& result);
+  void report(const FailureEvent& event);
+  FalsePositiveKind classify_ground_truth(const ModemResult& result) const;
+
+  Simulator& sim_;
+  RadioInterfaceLayer& ril_;
+  Config config_;
+  DataConnection dc_;
+  CellContext cell_;
+  std::vector<FailureEventListener*> listeners_;
+  ScheduledEvent pending_retry_;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t setup_attempts_ = 0;
+  std::uint64_t setup_failures_ = 0;
+  bool want_data_ = false;
+  bool balance_suspended_ = false;
+  bool voice_disruption_pending_ = false;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_DC_TRACKER_H

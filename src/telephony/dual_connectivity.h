@@ -1,0 +1,71 @@
+// 4G/5G dual connectivity (EN-DC, 3GPP TS 37.340) manager (§4.2).
+//
+// With dual connectivity the device holds control-plane connections to a 4G
+// master and a 5G secondary simultaneously; the master also carries the data
+// plane. When a RAT transition is decided, the prepared secondary leg makes
+// the switch markedly shorter and less disruptive. We model exactly those
+// two effects: transition latency shrinks and the probability that the
+// transition itself triggers a failure drops.
+
+#ifndef CELLREL_TELEPHONY_DUAL_CONNECTIVITY_H
+#define CELLREL_TELEPHONY_DUAL_CONNECTIVITY_H
+
+#include <optional>
+
+#include "bs/registry.h"
+#include "common/sim_time.h"
+
+namespace cellrel {
+
+class DualConnectivityManager {
+ public:
+  struct Config {
+    /// Fraction of the baseline transition latency kept under EN-DC.
+    double latency_factor = 0.35;
+    /// Fraction of the baseline transition-failure risk kept under EN-DC.
+    double disruption_factor = 0.45;
+    /// Baseline 4G<->5G transition latency without dual connectivity.
+    SimDuration baseline_transition_latency = SimDuration::seconds(1.8);
+  };
+
+  DualConnectivityManager() : DualConnectivityManager(Config{}) {}
+  explicit DualConnectivityManager(Config config) : config_(config) {}
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) {
+    enabled_ = on;
+    if (!on) secondary_.reset();
+  }
+
+  /// Maintains the secondary (5G) leg given the current candidate set.
+  void update_secondary(const std::optional<CellCandidate>& nr_candidate) {
+    if (enabled_) secondary_ = nr_candidate;
+  }
+  const std::optional<CellCandidate>& secondary() const { return secondary_; }
+
+  /// True when a transition to `target` can ride the prepared leg.
+  bool covers(const CellCandidate& target) const {
+    return enabled_ && secondary_ && secondary_->bs == target.bs &&
+           secondary_->rat == target.rat;
+  }
+
+  /// Effective transition latency for a 4G<->5G RAT change.
+  SimDuration transition_latency(const CellCandidate& target) const {
+    const SimDuration base = config_.baseline_transition_latency;
+    return covers(target) ? base * config_.latency_factor : base;
+  }
+
+  /// Multiplier on the risk that the transition itself causes a failure.
+  double disruption_multiplier(const CellCandidate& target) const {
+    return covers(target) ? config_.disruption_factor : 1.0;
+  }
+
+ private:
+  Config config_;
+  bool enabled_ = false;
+  std::optional<CellCandidate> secondary_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_DUAL_CONNECTIVITY_H

@@ -1,0 +1,95 @@
+// Failure-event taxonomy and listener interfaces.
+//
+// These mirror the notification surface of Android's telephony service that
+// Android-MOD instruments (§2.2): cellular failure events are delivered to
+// registered listeners together with whatever context the framework has.
+// The in-situ enrichment (RAT, RSS, APN, BS identity, protocol error code)
+// is performed by the monitoring service in src/core.
+
+#ifndef CELLREL_TELEPHONY_EVENTS_H
+#define CELLREL_TELEPHONY_EVENTS_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bs/base_station.h"
+#include "common/sim_time.h"
+#include "radio/fail_cause.h"
+#include "radio/rat.h"
+#include "radio/signal.h"
+
+namespace cellrel {
+
+/// The cellular failure classes of the study (§1). The long tail of legacy
+/// SMS/voice failures (<1% of events) is modelled by the last two entries.
+enum class FailureType : std::uint8_t {
+  kDataSetupError = 0,
+  kOutOfService = 1,
+  kDataStall = 2,
+  kSmsSendFail = 3,
+  kVoiceCallDrop = 4,
+};
+
+inline constexpr std::size_t kFailureTypeCount = 5;
+
+constexpr std::string_view to_string(FailureType t) {
+  switch (t) {
+    case FailureType::kDataSetupError: return "Data_Setup_Error";
+    case FailureType::kOutOfService: return "Out_of_Service";
+    case FailureType::kDataStall: return "Data_Stall";
+    case FailureType::kSmsSendFail: return "Sms_Send_Fail";
+    case FailureType::kVoiceCallDrop: return "Voice_Call_Drop";
+  }
+  return "?";
+}
+
+constexpr std::size_t index_of(FailureType t) { return static_cast<std::size_t>(t); }
+
+/// Ground-truth annotations about why an event is NOT a true failure.
+/// The framework reports these events anyway; Android-MOD's filters must
+/// recognize and remove them. Carried alongside events for validation only —
+/// filter code must never read this (tests assert filter decisions against
+/// it instead).
+enum class FalsePositiveKind : std::uint8_t {
+  kNone = 0,               // a true failure
+  kBsOverloadRejection,    // rational setup rejection (§2.1)
+  kIncomingVoiceCall,      // connection disruption by voice call (§2.2)
+  kInsufficientBalance,    // account-state service suspension
+  kManualDisconnect,       // user toggled data off / airplane mode
+  kSystemSideStall,        // stall caused by local firewall/proxy/driver
+  kDnsResolutionOnly,      // resolver outage, data path healthy
+};
+
+constexpr bool is_false_positive(FalsePositiveKind k) {
+  return k != FalsePositiveKind::kNone;
+}
+
+std::string_view to_string(FalsePositiveKind k);
+
+/// A failure event as the framework reports it to listeners.
+struct FailureEvent {
+  FailureType type = FailureType::kDataSetupError;
+  SimTime at;
+  // Radio context available at notification time.
+  Rat rat = Rat::k4G;
+  SignalLevel level = SignalLevel::kLevel0;
+  BsIndex bs = kInvalidBs;
+  FailCause cause = FailCause::kNone;  // setup errors only
+  // Ground truth for validation (never consulted by filters).
+  FalsePositiveKind ground_truth_fp = FalsePositiveKind::kNone;
+};
+
+/// Listener interface the monitoring service registers against the
+/// connection-management service (the instrumentation hook of §2.2).
+class FailureEventListener {
+ public:
+  virtual ~FailureEventListener() = default;
+  virtual void on_failure_event(const FailureEvent& event) = 0;
+  /// Signals that an ongoing failure episode (OOS or stall) ended.
+  virtual void on_failure_cleared(FailureType type, SimTime at) = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_EVENTS_H

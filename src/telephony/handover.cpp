@@ -1,0 +1,94 @@
+#include "telephony/handover.h"
+
+#include <cassert>
+
+namespace cellrel {
+
+std::string_view to_string(HandoverPhase phase) {
+  switch (phase) {
+    case HandoverPhase::kIdle: return "idle";
+    case HandoverPhase::kMeasuring: return "measuring";
+    case HandoverPhase::kPreparing: return "preparing";
+    case HandoverPhase::kExecuting: return "executing";
+    case HandoverPhase::kComplete: return "complete";
+    case HandoverPhase::kFailed: return "failed";
+  }
+  return "?";
+}
+
+HandoverController::HandoverController(Simulator& sim, DcTracker& tracker,
+                                       DualConnectivityManager& dualconn)
+    : HandoverController(sim, tracker, dualconn, Config{}) {}
+
+HandoverController::HandoverController(Simulator& sim, DcTracker& tracker,
+                                       DualConnectivityManager& dualconn, Config config)
+    : sim_(sim), tracker_(tracker), dualconn_(dualconn), config_(config) {}
+
+void HandoverController::start(const CellCandidate& target, CompletionCallback on_done) {
+  assert(phase_ == HandoverPhase::kIdle || phase_ == HandoverPhase::kComplete ||
+         phase_ == HandoverPhase::kFailed);
+  ++started_;
+  on_done_ = std::move(on_done);
+  source_ = {tracker_.cell_context().bs, tracker_.cell_context().rat,
+             tracker_.cell_context().level};
+  setup_failures_before_ = tracker_.setup_failures();
+  phase_ = HandoverPhase::kMeasuring;
+  sim_.schedule_after(config_.measurement_time, [this, target] { enter_preparing(target); });
+}
+
+void HandoverController::enter_preparing(const CellCandidate& target) {
+  phase_ = HandoverPhase::kPreparing;
+  // A prepared dual-connectivity leg skips most of the preparation: the
+  // secondary cell already holds a control-plane context for this UE.
+  const SimDuration prep = dualconn_.covers(target)
+                               ? config_.preparation_time * 0.2
+                               : config_.preparation_time;
+  sim_.schedule_after(prep, [this, target] { enter_executing(target, 1); });
+}
+
+void HandoverController::enter_executing(const CellCandidate& target, int attempt) {
+  phase_ = HandoverPhase::kExecuting;
+  // The data plane goes down when the source call is released.
+  data_plane_down_since_ = sim_.now();
+  tracker_.teardown(false);
+  // Point the radio at the target and re-establish.
+  if (retune_) retune_(target, /*in_handover=*/true);
+  tracker_.set_cell_context({target.bs, target.rat, target.level});
+  tracker_.request_data();
+
+  // Poll the connection outcome on the transition latency horizon.
+  const SimDuration horizon = dualconn_.transition_latency(target);
+  sim_.schedule_after(horizon, [this, target, attempt] {
+    if (tracker_.connection().is_active()) {
+      finish(true, target);
+      return;
+    }
+    if (attempt < config_.max_execute_attempts) {
+      enter_executing(target, attempt + 1);
+      return;
+    }
+    // Give up: fall back to the source cell.
+    tracker_.teardown(false);
+    if (retune_) retune_(source_, /*in_handover=*/false);
+    tracker_.set_cell_context({source_.bs, source_.rat, source_.level});
+    finish(false, target);
+  });
+}
+
+void HandoverController::finish(bool success, const CellCandidate& target) {
+  phase_ = success ? HandoverPhase::kComplete : HandoverPhase::kFailed;
+  if (!success) ++failed_;
+  HandoverReport report;
+  report.success = success;
+  report.target = target;
+  report.interruption = sim_.now() - data_plane_down_since_;
+  report.setup_failures =
+      static_cast<std::uint32_t>(tracker_.setup_failures() - setup_failures_before_);
+  if (on_done_) {
+    auto cb = std::move(on_done_);
+    on_done_ = nullptr;
+    cb(report);
+  }
+}
+
+}  // namespace cellrel

@@ -1,0 +1,101 @@
+// Inter-RAT handover controller.
+//
+// Executes a RAT transition the way the framework does: measure the target,
+// prepare (with the 4G/5G dual-connectivity secondary leg when available),
+// tear down and re-establish the data call on the target cell, and report
+// how it went. Failures during execution surface as Data_Setup_Error events
+// with handover causes (IRAT_HANDOVER_FAILED et al., §3.2/Table 2); the
+// controller also measures the data-plane interruption, which is what the
+// dual-connectivity mechanism shortens (§4.2).
+
+#ifndef CELLREL_TELEPHONY_HANDOVER_H
+#define CELLREL_TELEPHONY_HANDOVER_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "bs/registry.h"
+#include "telephony/dc_tracker.h"
+#include "telephony/dual_connectivity.h"
+
+namespace cellrel {
+
+/// Handover state machine phases.
+enum class HandoverPhase : std::uint8_t {
+  kIdle = 0,
+  kMeasuring,   // evaluating the target cell
+  kPreparing,   // resource reservation on the target (fast with EN-DC)
+  kExecuting,   // data call switched over
+  kComplete,
+  kFailed,
+};
+
+std::string_view to_string(HandoverPhase phase);
+
+/// Result of one handover attempt.
+struct HandoverReport {
+  bool success = false;
+  CellCandidate target{};
+  /// Time the data plane was interrupted.
+  SimDuration interruption = SimDuration::zero();
+  /// Setup failures raised while executing (events went to listeners).
+  std::uint32_t setup_failures = 0;
+};
+
+class HandoverController {
+ public:
+  struct Config {
+    SimDuration measurement_time = SimDuration::milliseconds(400);
+    SimDuration preparation_time = SimDuration::milliseconds(600);
+    /// Execution attempts before declaring the handover failed (the source
+    /// cell is then re-acquired).
+    int max_execute_attempts = 2;
+  };
+
+  HandoverController(Simulator& sim, DcTracker& tracker, DualConnectivityManager& dualconn);
+  HandoverController(Simulator& sim, DcTracker& tracker, DualConnectivityManager& dualconn,
+                     Config config);
+
+  HandoverController(const HandoverController&) = delete;
+  HandoverController& operator=(const HandoverController&) = delete;
+
+  /// Points the radio at a cell: the caller updates the RIL's channel
+  /// conditions for `cell` (with handover semantics while `in_handover`).
+  /// Injected to keep the controller decoupled from BS ownership.
+  using RetuneFn = std::function<void(const CellCandidate& cell, bool in_handover)>;
+  void set_retune(RetuneFn fn) { retune_ = std::move(fn); }
+
+  using CompletionCallback = std::function<void(const HandoverReport&)>;
+
+  /// Starts a handover from the current cell to `target`. One at a time.
+  /// Requires an active data connection.
+  void start(const CellCandidate& target, CompletionCallback on_done);
+
+  HandoverPhase phase() const { return phase_; }
+  std::uint64_t handovers_started() const { return started_; }
+  std::uint64_t handovers_failed() const { return failed_; }
+
+ private:
+  void enter_preparing(const CellCandidate& target);
+  void enter_executing(const CellCandidate& target, int attempt);
+  void finish(bool success, const CellCandidate& target);
+
+  Simulator& sim_;
+  DcTracker& tracker_;
+  DualConnectivityManager& dualconn_;
+  Config config_;
+  RetuneFn retune_;
+  CompletionCallback on_done_;
+  HandoverPhase phase_ = HandoverPhase::kIdle;
+  CellCandidate source_{};
+  SimTime data_plane_down_since_;
+  std::uint64_t setup_failures_before_ = 0;
+  std::uint64_t started_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_HANDOVER_H

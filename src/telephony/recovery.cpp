@@ -1,0 +1,117 @@
+#include "telephony/recovery.h"
+
+#include <cassert>
+#include <utility>
+
+namespace cellrel {
+
+std::string_view to_string(RecoveryStage s) {
+  switch (s) {
+    case RecoveryStage::kCleanupConnection: return "cleanup-connection";
+    case RecoveryStage::kReregister: return "reregister";
+    case RecoveryStage::kRestartRadio: return "restart-radio";
+  }
+  return "?";
+}
+
+std::string_view to_string(RecoveryOutcome o) {
+  switch (o) {
+    case RecoveryOutcome::kAutoRecovered: return "auto-recovered";
+    case RecoveryOutcome::kFixedByStage: return "fixed-by-stage";
+    case RecoveryOutcome::kUserReset: return "user-reset";
+    case RecoveryOutcome::kExhausted: return "exhausted";
+    case RecoveryOutcome::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+ProbationSchedule vanilla_probation_schedule() { return ProbationSchedule{}; }
+
+ProbationSchedule make_probation_schedule(double pro0_s, double pro1_s, double pro2_s,
+                                          std::string_view name) {
+  ProbationSchedule s;
+  s.probation = {SimDuration::seconds(pro0_s), SimDuration::seconds(pro1_s),
+                 SimDuration::seconds(pro2_s)};
+  s.name = name;
+  return s;
+}
+
+DataStallRecoverer::DataStallRecoverer(Simulator& sim, ProbationSchedule schedule, Hooks hooks)
+    : sim_(sim), schedule_(std::move(schedule)), hooks_(std::move(hooks)) {}
+
+void DataStallRecoverer::set_hooks(Hooks hooks) {
+  assert(!active_);
+  hooks_ = std::move(hooks);
+}
+
+void DataStallRecoverer::on_stall_detected() {
+  if (active_) return;
+  active_ = true;
+  next_stage_ = 0;
+  cycles_ = 0;
+  stages_executed_ = 0;
+  started_at_ = sim_.now();
+  ++episodes_started_;
+  arm_probation();
+}
+
+void DataStallRecoverer::arm_probation() {
+  const SimDuration wait = schedule_.probation[next_stage_];
+  pending_ = sim_.schedule_after(wait, [this] { probation_expired(); });
+}
+
+void DataStallRecoverer::probation_expired() {
+  if (!active_) return;
+  // "Before carrying out each operation, Android would wait ... to watch
+  // whether the problem has already been fixed."
+  if (hooks_.still_stalled && !hooks_.still_stalled()) {
+    finish(RecoveryOutcome::kAutoRecovered);
+    return;
+  }
+  const auto stage = static_cast<RecoveryStage>(next_stage_);
+  ++stages_executed_;
+  const bool fixed = hooks_.execute_stage && hooks_.execute_stage(stage);
+  if (fixed) {
+    RecoveryEpisode ep;
+    ep.started_at = started_at_;
+    ep.ended_at = sim_.now();
+    ep.outcome = RecoveryOutcome::kFixedByStage;
+    ep.fixed_by = stage;
+    ep.stages_executed = stages_executed_;
+    ep.cycles = cycles_;
+    active_ = false;
+    if (hooks_.on_episode_complete) hooks_.on_episode_complete(ep);
+    return;
+  }
+  ++next_stage_;
+  if (next_stage_ >= kRecoveryStageCount) {
+    // Android repeats the progressive sequence while the stall persists;
+    // wrap back to the first stage up to the safety cap.
+    ++cycles_;
+    if (cycles_ >= max_cycles_) {
+      finish(RecoveryOutcome::kExhausted);
+      return;
+    }
+    next_stage_ = 0;
+  }
+  arm_probation();
+}
+
+void DataStallRecoverer::finish(RecoveryOutcome outcome) {
+  if (!active_) return;
+  pending_.cancel();
+  RecoveryEpisode ep;
+  ep.started_at = started_at_;
+  ep.ended_at = sim_.now();
+  ep.outcome = outcome;
+  ep.stages_executed = stages_executed_;
+  ep.cycles = cycles_;
+  active_ = false;
+  if (hooks_.on_episode_complete) hooks_.on_episode_complete(ep);
+}
+
+void DataStallRecoverer::on_stall_cleared() { finish(RecoveryOutcome::kAutoRecovered); }
+
+void DataStallRecoverer::on_user_reset() { finish(RecoveryOutcome::kUserReset); }
+
+}  // namespace cellrel

@@ -1,0 +1,135 @@
+// Three-stage progressive Data_Stall recovery (§3.2, §4.2).
+//
+// Vanilla Android sequentially tries three operations of increasing weight —
+// (1) cleaning up and restarting the current connection, (2) re-registering
+// into the network, (3) restarting the radio — waiting one minute of
+// "probation" before each in case the stall already resolved. The probation
+// schedule is a strategy: the vanilla schedule is {60, 60, 60} s, the
+// paper's TIMP-optimized schedule is {21, 6, 16} s (computed by
+// src/timp/recovery_optimizer, not hard-coded here).
+
+#ifndef CELLREL_TELEPHONY_RECOVERY_H
+#define CELLREL_TELEPHONY_RECOVERY_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/event_queue.h"
+
+namespace cellrel {
+
+/// The three progressive recovery operations.
+enum class RecoveryStage : std::uint8_t {
+  kCleanupConnection = 0,  // light: tear down + re-setup the data call
+  kReregister = 1,         // moderate: detach/re-attach network registration
+  kRestartRadio = 2,       // heavy: power-cycle the radio component
+};
+
+inline constexpr std::size_t kRecoveryStageCount = 3;
+std::string_view to_string(RecoveryStage s);
+
+/// Probation schedule strategy: seconds to wait before executing each stage.
+struct ProbationSchedule {
+  std::array<SimDuration, kRecoveryStageCount> probation = {
+      SimDuration::seconds(60.0), SimDuration::seconds(60.0), SimDuration::seconds(60.0)};
+  std::string_view name = "vanilla-60s";
+};
+
+/// The vanilla Android schedule (fixed one-minute probations).
+ProbationSchedule vanilla_probation_schedule();
+
+/// Builds a schedule from three probation values in seconds.
+ProbationSchedule make_probation_schedule(double pro0_s, double pro1_s, double pro2_s,
+                                          std::string_view name);
+
+/// How one recovery episode ended.
+enum class RecoveryOutcome : std::uint8_t {
+  kAutoRecovered,     // stall cleared during a probation window
+  kFixedByStage,      // a recovery operation cleared it
+  kUserReset,         // the user manually reset the connection
+  kExhausted,         // the cycle cap was reached with the stall persisting
+  kAborted,           // externally cancelled
+};
+
+std::string_view to_string(RecoveryOutcome o);
+
+/// Record of a completed recovery episode (consumed by analysis and TIMP).
+struct RecoveryEpisode {
+  SimTime started_at;
+  SimTime ended_at;
+  RecoveryOutcome outcome = RecoveryOutcome::kAutoRecovered;
+  /// Valid when outcome == kFixedByStage.
+  RecoveryStage fixed_by = RecoveryStage::kCleanupConnection;
+  /// Stage executions across all cycles.
+  std::uint32_t stages_executed = 0;
+  /// Completed three-stage cycles before the episode ended (Android repeats
+  /// the progressive sequence while the stall persists).
+  std::uint32_t cycles = 0;
+  SimDuration duration() const { return ended_at - started_at; }
+};
+
+/// Drives one device's Data_Stall recovery state machine on the simulator.
+class DataStallRecoverer {
+ public:
+  struct Hooks {
+    /// Executes the stage's operation; returns true if the network-side
+    /// problem is now fixed (environment decides; ~75% for stage 1, §3.2).
+    /// Receives the stage and must also account the operation's latency.
+    std::function<bool(RecoveryStage)> execute_stage;
+    /// True while the stall persists (probation checks).
+    std::function<bool()> still_stalled;
+    /// Invoked once per finished episode.
+    std::function<void(const RecoveryEpisode&)> on_episode_complete;
+  };
+
+  DataStallRecoverer(Simulator& sim, ProbationSchedule schedule, Hooks hooks);
+
+  DataStallRecoverer(const DataStallRecoverer&) = delete;
+  DataStallRecoverer& operator=(const DataStallRecoverer&) = delete;
+
+  void set_schedule(ProbationSchedule schedule) { schedule_ = std::move(schedule); }
+  const ProbationSchedule& schedule() const { return schedule_; }
+
+  /// Replaces the hooks (campaigns override the defaults). Must not be
+  /// called while an episode is active.
+  void set_hooks(Hooks hooks);
+
+  /// Safety cap on recovery cycles per episode.
+  void set_max_cycles(std::uint32_t n) { max_cycles_ = n; }
+
+  /// Begins an episode at stall-detection time. No-op if one is running.
+  void on_stall_detected();
+
+  /// The stall cleared on its own (auto-recovery) or the user reset the
+  /// connection; ends the episode.
+  void on_stall_cleared();
+  void on_user_reset();
+
+  bool episode_active() const { return active_; }
+  std::uint64_t episodes_started() const { return episodes_started_; }
+
+ private:
+  void arm_probation();
+  void probation_expired();
+  void finish(RecoveryOutcome outcome);
+
+  Simulator& sim_;
+  ProbationSchedule schedule_;
+  Hooks hooks_;
+  ScheduledEvent pending_;
+  bool active_ = false;
+  std::uint8_t next_stage_ = 0;
+  std::uint32_t cycles_ = 0;
+  std::uint32_t stages_executed_ = 0;
+  std::uint32_t max_cycles_ = 100;
+  SimTime started_at_;
+  std::uint64_t episodes_started_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_RECOVERY_H

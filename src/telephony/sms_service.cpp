@@ -1,0 +1,133 @@
+#include "telephony/sms_service.h"
+
+#include <algorithm>
+
+namespace cellrel {
+
+std::string_view to_string(SmsResult r) {
+  switch (r) {
+    case SmsResult::kOk: return "OK";
+    case SmsResult::kRetry: return "RIL_SMS_SEND_FAIL_RETRY";
+    case SmsResult::kNetworkReject: return "NETWORK_REJECT";
+    case SmsResult::kRadioOff: return "RADIO_OFF";
+  }
+  return "?";
+}
+
+SmsService::SmsService(Simulator& sim, RadioInterfaceLayer& ril, Rng rng)
+    : SmsService(sim, ril, rng, Config{}) {}
+
+SmsService::SmsService(Simulator& sim, RadioInterfaceLayer& ril, Rng rng, Config config)
+    : sim_(sim), ril_(ril), rng_(rng), config_(config) {}
+
+void SmsService::add_listener(FailureEventListener* l) {
+  if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
+    listeners_.push_back(l);
+  }
+}
+
+void SmsService::remove_listener(FailureEventListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l), listeners_.end());
+}
+
+SmsResult SmsService::submit_once() {
+  if (ril_.modem().state() == ModemState::kRadioOff) return SmsResult::kRadioOff;
+  const auto& channel = ril_.channel();
+  if (channel.driver_fault) return SmsResult::kRetry;
+  // SMS rides the signalling channel: level-0 signal usually loses the
+  // submission; otherwise transient failures happen at the base rate plus
+  // whatever the channel's own failure mass adds.
+  if (channel.level == SignalLevel::kLevel0 && rng_.bernoulli(0.6)) return SmsResult::kRetry;
+  const double p = config_.transient_failure_prob + 0.9 * channel.base_failure_prob;
+  if (rng_.bernoulli(std::min(0.95, p))) {
+    return rng_.bernoulli(0.9) ? SmsResult::kRetry : SmsResult::kNetworkReject;
+  }
+  return SmsResult::kOk;
+}
+
+void SmsService::send(SendCallback cb) {
+  attempt(Pending{std::move(cb), 0});
+}
+
+void SmsService::attempt(Pending pending) {
+  ++pending.attempts;
+  const SmsResult result = submit_once();
+  if (result == SmsResult::kOk) {
+    ++delivered_;
+    if (pending.cb) pending.cb(true, pending.attempts);
+    return;
+  }
+  if (result == SmsResult::kRetry && pending.attempts <= config_.max_retries) {
+    sim_.schedule_after(config_.retry_delay,
+                        [this, p = std::move(pending)]() mutable { attempt(std::move(p)); });
+    return;
+  }
+  // Retries exhausted (or a permanent rejection): report the failure.
+  ++failed_;
+  FailureEvent event;
+  event.type = FailureType::kSmsSendFail;
+  event.at = sim_.now();
+  event.rat = cell_.rat;
+  event.level = cell_.level;
+  event.bs = cell_.bs;
+  for (auto* l : listeners_) l->on_failure_event(event);
+  if (pending.cb) pending.cb(false, pending.attempts);
+}
+
+VoiceCallManager::VoiceCallManager(Simulator& sim, Rng rng)
+    : VoiceCallManager(sim, rng, Config{}) {}
+
+VoiceCallManager::VoiceCallManager(Simulator& sim, Rng rng, Config config)
+    : sim_(sim), rng_(rng), config_(config) {}
+
+void VoiceCallManager::add_listener(FailureEventListener* l) {
+  if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
+    listeners_.push_back(l);
+  }
+}
+
+void VoiceCallManager::remove_listener(FailureEventListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l), listeners_.end());
+}
+
+void VoiceCallManager::set_state(CallState next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (on_state_) on_state_(next);
+}
+
+void VoiceCallManager::incoming_call() {
+  if (state_ != CallState::kIdle) return;  // busy: caller hears engaged tone
+  set_state(CallState::kRinging);
+  pending_ = sim_.schedule_after(config_.ring_time, [this] {
+    if (!rng_.bernoulli(config_.answer_probability)) {
+      set_state(CallState::kIdle);
+      return;
+    }
+    set_state(CallState::kOffhook);
+    const double duration = rng_.exponential(config_.mean_call_seconds);
+    const bool drops = rng_.bernoulli(config_.drop_probability);
+    const double until = drops ? duration * rng_.uniform(0.1, 0.9) : duration;
+    pending_ = sim_.schedule_after(SimDuration::seconds(until),
+                                   [this, drops] { end_call(drops); });
+  });
+}
+
+void VoiceCallManager::end_call(bool dropped) {
+  if (state_ != CallState::kOffhook) return;
+  if (dropped) {
+    ++dropped_;
+    FailureEvent event;
+    event.type = FailureType::kVoiceCallDrop;
+    event.at = sim_.now();
+    event.rat = cell_.rat;
+    event.level = cell_.level;
+    event.bs = cell_.bs;
+    for (auto* l : listeners_) l->on_failure_event(event);
+  } else {
+    ++completed_;
+  }
+  set_state(CallState::kIdle);
+}
+
+}  // namespace cellrel

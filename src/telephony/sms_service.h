@@ -1,0 +1,144 @@
+// Legacy SMS and voice-call services.
+//
+// The remainder (<1%) of the study's failure events come from the
+// traditional short-message and voice services (§3.1), e.g. send failures
+// tagged RIL_SMS_SEND_FAIL_RETRY. We model Android's SmsManager-style send
+// path — submit over the signalling channel, retry up to a limit with
+// backoff, report a failure event when retries exhaust — and a voice-call
+// manager whose active calls disrupt the data connection on non-DSDA
+// devices (one of the false-positive sources §2.2 filters).
+
+#ifndef CELLREL_TELEPHONY_SMS_SERVICE_H
+#define CELLREL_TELEPHONY_SMS_SERVICE_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "radio/ril.h"
+#include "telephony/dc_tracker.h"
+#include "telephony/events.h"
+
+namespace cellrel {
+
+/// Outcome of one SMS submission attempt (RIL-level).
+enum class SmsResult : std::uint8_t {
+  kOk = 0,
+  kRetry,          // RIL_SMS_SEND_FAIL_RETRY: transient, resubmit
+  kNetworkReject,  // permanent network rejection
+  kRadioOff,
+};
+
+std::string_view to_string(SmsResult r);
+
+/// Android-style SMS send path with bounded retries.
+class SmsService {
+ public:
+  struct Config {
+    int max_retries = 3;                              // Android's default
+    SimDuration retry_delay = SimDuration::seconds(5.0);
+    /// Per-attempt transient-failure probability on a healthy channel.
+    double transient_failure_prob = 0.02;
+  };
+
+  SmsService(Simulator& sim, RadioInterfaceLayer& ril, Rng rng);
+  SmsService(Simulator& sim, RadioInterfaceLayer& ril, Rng rng, Config config);
+
+  SmsService(const SmsService&) = delete;
+  SmsService& operator=(const SmsService&) = delete;
+
+  void add_listener(FailureEventListener* l);
+  void remove_listener(FailureEventListener* l);
+
+  /// Context stamped onto failure events.
+  void set_cell_context(const CellContext& ctx) { cell_ = ctx; }
+
+  using SendCallback = std::function<void(bool delivered, int attempts)>;
+
+  /// Submits one message; the callback fires when delivery succeeds or the
+  /// retry budget is exhausted (which raises an kSmsSendFail event).
+  void send(SendCallback cb);
+
+  std::uint64_t messages_sent() const { return delivered_; }
+  std::uint64_t messages_failed() const { return failed_; }
+
+ private:
+  struct Pending {
+    SendCallback cb;
+    int attempts = 0;
+  };
+  void attempt(Pending pending);
+  SmsResult submit_once();
+
+  Simulator& sim_;
+  RadioInterfaceLayer& ril_;
+  Rng rng_;
+  Config config_;
+  CellContext cell_;
+  std::vector<FailureEventListener*> listeners_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t failed_ = 0;
+};
+
+/// Voice-call state (Android TelephonyManager CALL_STATE_*).
+enum class CallState : std::uint8_t { kIdle, kRinging, kOffhook };
+
+/// Minimal voice-call manager: incoming calls ring, get answered with some
+/// probability, and occupy the radio for their duration. On devices without
+/// concurrent voice+data, an active call disrupts the data connection; call
+/// drops raise kVoiceCallDrop failure events.
+class VoiceCallManager {
+ public:
+  struct Config {
+    double answer_probability = 0.8;
+    SimDuration ring_time = SimDuration::seconds(6.0);
+    double mean_call_seconds = 90.0;
+    /// Probability a call drops mid-way on a healthy channel.
+    double drop_probability = 0.01;
+  };
+
+  VoiceCallManager(Simulator& sim, Rng rng);
+  VoiceCallManager(Simulator& sim, Rng rng, Config config);
+
+  VoiceCallManager(const VoiceCallManager&) = delete;
+  VoiceCallManager& operator=(const VoiceCallManager&) = delete;
+
+  void add_listener(FailureEventListener* l);
+  void remove_listener(FailureEventListener* l);
+  void set_cell_context(const CellContext& ctx) { cell_ = ctx; }
+
+  /// Hook invoked when a call goes offhook / ends (the campaign uses it to
+  /// disrupt and restore the data connection).
+  void set_call_state_hook(std::function<void(CallState)> hook) {
+    on_state_ = std::move(hook);
+  }
+
+  CallState state() const { return state_; }
+
+  /// An incoming call arrives now.
+  void incoming_call();
+
+  std::uint64_t calls_completed() const { return completed_; }
+  std::uint64_t calls_dropped() const { return dropped_; }
+
+ private:
+  void set_state(CallState next);
+  void end_call(bool dropped);
+
+  Simulator& sim_;
+  Rng rng_;
+  Config config_;
+  CellContext cell_;
+  CallState state_ = CallState::kIdle;
+  std::vector<FailureEventListener*> listeners_;
+  std::function<void(CallState)> on_state_;
+  ScheduledEvent pending_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TELEPHONY_SMS_SERVICE_H

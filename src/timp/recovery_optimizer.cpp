@@ -1,0 +1,39 @@
+#include "timp/recovery_optimizer.h"
+
+#include "timp/annealing.h"
+
+namespace cellrel {
+
+RecoveryOptimizer::RecoveryOptimizer(TimpModel model)
+    : RecoveryOptimizer(std::move(model), Config{}) {}
+
+RecoveryOptimizer::RecoveryOptimizer(TimpModel model, Config config)
+    : model_(std::move(model)), config_(config) {}
+
+OptimizedRecovery RecoveryOptimizer::optimize() const {
+  AnnealingConfig<3> cfg;
+  cfg.lower = {config_.min_probation_s, config_.min_probation_s, config_.min_probation_s};
+  cfg.upper = {config_.max_probation_s, config_.max_probation_s, config_.max_probation_s};
+  cfg.initial = {60.0, 60.0, 60.0};  // start from the vanilla schedule
+  cfg.initial_temperature = 2.0;
+
+  const auto objective = [this](const std::array<double, 3>& p) {
+    return model_.expected_recovery_time(p);
+  };
+  const AnnealingResult<3> r =
+      anneal<3>(cfg, objective, Rng{config_.seed});
+
+  OptimizedRecovery out;
+  out.probations_s = r.best;
+  out.expected_recovery_s = r.best_value;
+  out.vanilla_expected_recovery_s = model_.expected_recovery_time({60.0, 60.0, 60.0});
+  out.evaluations = r.evaluations;
+  return out;
+}
+
+ProbationSchedule RecoveryOptimizer::to_schedule(const OptimizedRecovery& opt) {
+  return make_probation_schedule(opt.probations_s[0], opt.probations_s[1],
+                                 opt.probations_s[2], "timp-optimized");
+}
+
+}  // namespace cellrel

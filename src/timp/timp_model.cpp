@@ -1,0 +1,110 @@
+#include "timp/timp_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cellrel {
+
+AutoRecoveryCurve::AutoRecoveryCurve(PiecewiseCdf cdf) {
+  max_duration_ = cdf.anchors().back().value;
+  analytic_.push_back(std::move(cdf));
+}
+
+AutoRecoveryCurve AutoRecoveryCurve::from_durations(std::span<const double> durations_s) {
+  if (durations_s.empty()) {
+    throw std::invalid_argument("AutoRecoveryCurve: need at least one duration");
+  }
+  AutoRecoveryCurve c;
+  c.empirical_sorted_.assign(durations_s.begin(), durations_s.end());
+  std::sort(c.empirical_sorted_.begin(), c.empirical_sorted_.end());
+  c.max_duration_ = c.empirical_sorted_.back();
+  return c;
+}
+
+double AutoRecoveryCurve::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (!analytic_.empty()) return analytic_.front().cdf(t);
+  const auto& v = empirical_sorted_;
+  const auto it = std::upper_bound(v.begin(), v.end(), t);
+  return static_cast<double>(it - v.begin()) / static_cast<double>(v.size());
+}
+
+TimpModel::TimpModel(AutoRecoveryCurve curve, Params params)
+    : curve_(std::move(curve)), params_(params) {
+  assert(params_.integration_step_s > 0.0);
+}
+
+double TimpModel::survival(int state, double window_start, double t) const {
+  assert(state >= 0 && state <= 3);
+  if (t <= window_start) return 1.0;
+  const double f_start = curve_.cdf(window_start);
+  const double auto_survive_start = 1.0 - f_start;
+  // Conditional auto-recovery survival within this window.
+  double cond_auto_survival = 0.0;
+  if (auto_survive_start > 1e-12) {
+    cond_auto_survival = (1.0 - curve_.cdf(t)) / auto_survive_start;
+    cond_auto_survival = std::clamp(cond_auto_survival, 0.0, 1.0);
+  }
+  if (state == 0) return cond_auto_survival;
+  // Stage executed on entry: the effective fraction settles exponentially;
+  // the ineffective fraction falls back to auto-recovery whose clock was
+  // set back by the operation's disruption delay.
+  const auto idx = static_cast<std::size_t>(state - 1);
+  const double e = params_.stage_effectiveness[idx];
+  const double tau = params_.stage_settling_s[idx];
+  const double d = params_.stage_disruption_s[idx];
+  const double settling = std::exp(-(t - window_start) / tau);
+  double delayed_auto = 1.0;
+  const double shifted = t - d;
+  if (shifted > window_start && auto_survive_start > 1e-12) {
+    delayed_auto = std::clamp((1.0 - curve_.cdf(shifted)) / auto_survive_start, 0.0, 1.0);
+  }
+  return e * settling + (1.0 - e) * delayed_auto;
+}
+
+double TimpModel::recovery_probability(int state, double window_start, double t) const {
+  return 1.0 - survival(state, window_start, t);
+}
+
+double TimpModel::integrate_survival(int state, double window_start, double from,
+                                     double to) const {
+  if (to <= from) return 0.0;
+  double total = 0.0;
+  double a = from;
+  double step = params_.integration_step_s;
+  while (a < to) {
+    const double b = std::min(a + step, to);
+    const double mid = (a + b) / 2.0;
+    total += survival(state, window_start, mid) * (b - a);
+    a = b;
+    // Past ten minutes from the window start the integrand is smooth and
+    // tiny; grow the step geometrically so t_m-scale tails stay cheap.
+    if (a - from > 600.0) step = std::min(step * 1.05, (to - from) / 64.0 + step);
+  }
+  return total;
+}
+
+double TimpModel::expected_recovery_time(const std::array<double, 3>& probations_s) const {
+  for (double p : probations_s) {
+    if (p <= 0.0) throw std::invalid_argument("TimpModel: probations must be > 0");
+  }
+  const double s0 = probations_s[0];
+  const double s1 = s0 + probations_s[1];
+  const double s2 = s1 + probations_s[2];
+  const double tm = std::max(curve_.max_duration(), s2 + 1.0);
+
+  const double o1 = params_.stage_overhead_s[0];
+  const double o2 = params_.stage_overhead_s[1];
+  const double o3 = params_.stage_overhead_s[2];
+
+  // Work backwards per Eq. 1 (expected-dwell form).
+  const double t3 = o3 + integrate_survival(3, s2, s2, tm);
+  const double t2 = o2 + integrate_survival(2, s1, s1, s2) + survival(2, s1, s2) * t3;
+  const double t1 = o1 + integrate_survival(1, s0, s0, s1) + survival(1, s0, s1) * t2;
+  const double t0 = integrate_survival(0, 0.0, 0.0, s0) + survival(0, 0.0, s0) * t1;
+  return t0;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,10 @@
+#include "workload/calibration.h"
+
+namespace cellrel {
+
+const Calibration& default_calibration() {
+  static const Calibration calibration{};
+  return calibration;
+}
+
+}  // namespace cellrel

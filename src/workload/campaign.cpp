@@ -1,0 +1,722 @@
+#include "workload/campaign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <optional>
+
+namespace cellrel {
+
+namespace {
+
+/// Kinds of failure episodes a session can trigger.
+enum class EpisodeKind : std::uint8_t {
+  kTrueSetup,
+  kOverloadFp,
+  kVoiceCallFp,
+  kManualDisconnectFp,
+  kBalanceFp,
+  kTrueStall,
+  kSystemStallFp,
+  kDnsStallFp,
+  kOutOfService,
+  kLegacySms,
+  kLegacyVoice,
+};
+
+/// One planned session of device activity.
+struct Session {
+  SimTime at;
+  double dwell_s = 0.0;
+  BsIndex bs = kInvalidBs;
+  CellCandidate stock;   // cell the stock policy picks
+  CellCandidate active;  // cell the scenario's policy picks
+  bool transitioned_stock = false;
+  bool transitioned_active = false;
+  CellCandidate prev_active{};  // valid when transitioned_active
+  double hazard_stock = 0.0;
+  double hazard_active = 0.0;
+};
+
+double context_hazard(const Calibration& cal, const BaseStation& bs, const CellCandidate& cell,
+                      bool transitioned, const CellCandidate& prev, double dualconn_mult) {
+  const RatLevelRiskTable& risk = *cal.risk_table;
+  double h = cal.hazard_level_weight * risk.at(cell.rat, cell.level);
+  h += cal.hazard_bs_weight * std::clamp(bs.hazard_multiplier() - 1.0, 0.0, 5.0);
+  h += cal.hazard_emm_weight * bs.emm_barring_prob();
+  if (bs.in_disrepair()) h += cal.hazard_disrepair_bonus;
+  if (cell.rat == Rat::k5G && index_of(cell.level) <= 1) h += cal.hazard_weak_5g_bonus;
+  h *= cal.hazard_rat_utilization[index_of(cell.rat)];
+  if (transitioned) {
+    const double increase =
+        std::max(0.0, risk.at(cell.rat, cell.level) - risk.at(prev.rat, prev.level));
+    h += dualconn_mult *
+         (cal.hazard_transition_weight * increase + cal.hazard_transition_flat);
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeviceRun: simulates one device for the whole campaign.
+// ---------------------------------------------------------------------------
+
+class Campaign::DeviceRun final : public FailureEventListener {
+ public:
+  DeviceRun(const Scenario& scenario, BsRegistry& registry, const DeviceProfile& profile,
+            Rng rng, CampaignResult& out)
+      : scenario_(scenario),
+        cal_(scenario.calibration),
+        registry_(registry),
+        profile_(profile),
+        rng_(rng),
+        out_(out) {}
+
+  void execute();
+
+  // FailureEventListener (campaign-side: ground-truth bookkeeping and
+  // stall life-cycle driving).
+  void on_failure_event(const FailureEvent& event) override;
+  void on_failure_cleared(FailureType type, SimTime at) override;
+
+ private:
+  struct StallState {
+    EpisodeKind kind = EpisodeKind::kTrueStall;
+    /// Per-execution multiplier on stage effectiveness: 1 = easy, small =
+    /// hard (recovery-limited), 0 = unrecoverable (BS-side outage).
+    double hardness_factor = 1.0;
+    bool detected = false;
+    bool open = false;
+  };
+
+  void plan_sessions();
+  void account_session(const Session& s, bool failure_occurred);
+  void build_stack();
+
+  // Episode runners (failing devices only; stack exists).
+  void run_episode(const Session& s, EpisodeKind kind);
+  void run_setup_episode(const Session& s, EpisodeKind kind);
+  void run_stall_episode(const Session& s, EpisodeKind kind);
+  void run_oos_episode(const Session& s);
+  void prepare_cell(const Session& s, double base_failure_prob, double overload_override);
+  bool ensure_active(const Session& s);
+  void drive_until(const std::function<bool()>& done, std::uint64_t max_steps = 4'000'000);
+  void schedule_traffic();
+  bool stage_fix(RecoveryStage stage);
+  void clear_fault();
+  void teardown_quietly();
+
+  EpisodeKind pick_kind(const Session& s);
+
+  const Scenario& scenario_;
+  const Calibration& cal_;
+  BsRegistry& registry_;
+  const DeviceProfile& profile_;
+  Rng rng_;
+  CampaignResult& out_;
+
+  // Lazily built per failing device.
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<AndroidMod> mod_;
+  DeviceObservables observables_;
+  std::vector<Session> sessions_;
+  bool failure_free_ = true;
+  bool oos_prone_ = false;
+
+  StallState stall_;
+  ScheduledEvent auto_clear_;
+  ScheduledEvent user_reset_;
+  bool traffic_running_ = false;
+};
+
+void Campaign::DeviceRun::plan_sessions() {
+  // Target failure-event count for this device over the campaign.
+  const double freq = profile_.model->paper_frequency *
+                      cal_.isp_frequency_factor[index_of(profile_.isp)];
+  const double raw = freq * profile_.susceptibility / cal_.susceptibility_mean;
+  const auto target_events =
+      failure_free_ ? 0.0 : std::clamp(raw, 1.0, 3000.0);
+  // Setup episodes carry ~2 events (retries), stalls and OOS one each.
+  const double target_episodes = std::max(1.0, target_events / 1.32);
+  const int session_count = std::max(
+      cal_.min_sessions, static_cast<int>(target_episodes * cal_.sessions_per_episode));
+
+  const SimDuration window = SimDuration::days(scenario_.campaign_days);
+  sessions_.clear();
+  sessions_.reserve(static_cast<std::size_t>(session_count));
+
+  const bool device_5g = profile_.model->has_5g;
+  const bool stability =
+      scenario_.policy == PolicyVariant::kStabilityCompatible && device_5g;
+  const auto stock_policy =
+      make_policy_for_android(static_cast<int>(profile_.model->android));
+  const StabilityCompatiblePolicy stability_policy;
+  DualConnectivityManager dualconn;
+  dualconn.set_enabled(stability && scenario_.dual_connectivity);
+
+  std::optional<CellCandidate> prev_stock;
+  std::optional<CellCandidate> prev_active;
+  for (int i = 0; i < session_count; ++i) {
+    Session s;
+    // Uniform jittered spread across the window keeps sessions ordered and
+    // deterministic.
+    const double frac = (static_cast<double>(i) + rng_.uniform(0.1, 0.9)) /
+                        static_cast<double>(session_count);
+    s.at = SimTime::origin() + window * frac;
+    s.dwell_s = rng_.exponential(cal_.session_dwell_mean_s);
+    const LocationClass loc = profile_.mobility.sample(rng_);
+    s.bs = registry_.pick_bs(profile_.isp, loc, rng_);
+    const auto candidates = registry_.enumerate_candidates(s.bs, device_5g, rng_);
+    if (candidates.empty()) continue;
+
+    const auto stock_choice = stock_policy->choose(candidates, prev_stock);
+    const auto active_choice = stability
+                                   ? stability_policy.choose(candidates, prev_active)
+                                   : stock_choice;
+    s.stock = stock_choice.value_or(candidates.front());
+    s.active = active_choice.value_or(candidates.front());
+
+    s.transitioned_stock = prev_stock && prev_stock->rat != s.stock.rat;
+    s.transitioned_active = prev_active && prev_active->rat != s.active.rat;
+    if (s.transitioned_active) s.prev_active = *prev_active;
+
+    const BaseStation& bs_stock = registry_.at(s.stock.bs);
+    const BaseStation& bs_active = registry_.at(s.active.bs);
+    const CellCandidate prev_s = prev_stock.value_or(s.stock);
+    const CellCandidate prev_a = prev_active.value_or(s.active);
+    // Dual connectivity softens the transition term on the active path:
+    // the prepared secondary leg makes 4G<->5G switches less disruptive.
+    double dc_mult = 1.0;
+    if (s.transitioned_active && dualconn.enabled() &&
+        (s.active.rat == Rat::k5G || prev_a.rat == Rat::k5G)) {
+      dualconn.update_secondary(s.active.rat == Rat::k5G
+                                    ? std::optional<CellCandidate>(s.active)
+                                    : std::nullopt);
+      dc_mult = dualconn.covers(s.active)
+                    ? dualconn.disruption_multiplier(s.active)
+                    : DualConnectivityManager::Config{}.disruption_factor;
+    }
+    s.hazard_stock =
+        context_hazard(cal_, bs_stock, s.stock, s.transitioned_stock, prev_s, 1.0);
+    s.hazard_active =
+        context_hazard(cal_, bs_active, s.active, s.transitioned_active, prev_a, dc_mult);
+
+    prev_stock = s.stock;
+    prev_active = s.active;
+    sessions_.push_back(s);
+  }
+}
+
+void Campaign::DeviceRun::account_session(const Session& s, bool failure_occurred) {
+  out_.dataset.connected_time.add(s.active.rat, s.active.level, s.dwell_s);
+  if (s.transitioned_active) {
+    TransitionRecord t;
+    t.device = profile_.id;
+    t.from_rat = s.prev_active.rat;
+    t.from_level = s.prev_active.level;
+    t.to_rat = s.active.rat;
+    t.to_level = s.active.level;
+    t.failure_within_window = failure_occurred;
+    out_.dataset.transitions.push_back(t);
+  } else {
+    DwellRecord d;
+    d.device = profile_.id;
+    d.rat = s.active.rat;
+    d.level = s.active.level;
+    d.failure_within_window = failure_occurred;
+    out_.dataset.dwells.push_back(d);
+  }
+}
+
+void Campaign::DeviceRun::build_stack() {
+  sim_ = std::make_unique<Simulator>();
+  AndroidMod::Config config;
+  config.telephony.android_version = static_cast<int>(profile_.model->android);
+  config.telephony.device_5g_capable = profile_.model->has_5g;
+  config.telephony.enable_dual_connectivity =
+      scenario_.policy == PolicyVariant::kStabilityCompatible && scenario_.dual_connectivity;
+  config.telephony.recovery_schedule = scenario_.recovery == RecoveryVariant::kTimpOptimized
+                                           ? scenario_.timp_schedule
+                                           : vanilla_probation_schedule();
+  config.telephony.isp = profile_.isp;
+  config.monitor.use_probing = scenario_.monitor_probing;
+  config.identity = {profile_.id, profile_.model->model_id, profile_.isp};
+
+  mod_ = std::make_unique<AndroidMod>(
+      *sim_, rng_.fork(0xdeu), std::move(config), [this](std::vector<TraceRecord>&& batch) {
+        for (auto& r : batch) out_.dataset.records.push_back(std::move(r));
+      });
+  auto& tm = mod_->telephony();
+  tm.register_failure_listener(this);
+  mod_->monitor().set_observables_source([this] { return observables_; });
+  mod_->monitor().set_cell_resolver(
+      [this](BsIndex bs) { return registry_.at(bs).identity(); });
+  tm.recoverer().set_hooks(DataStallRecoverer::Hooks{
+      [this](RecoveryStage stage) { return stage_fix(stage); },
+      [this] { return mod_->telephony().network().fault() != NetworkFault::kNone; },
+      [this](const RecoveryEpisode& ep) { out_.recovery_episodes.push_back(ep); }});
+}
+
+EpisodeKind Campaign::DeviceRun::pick_kind(const Session& s) {
+  Rng& rng = rng_;
+  const BaseStation& bs = registry_.at(s.active.bs);
+  // Transition-dominated sessions mostly fail during/just after the switch.
+  const double transition_part =
+      s.hazard_active > 0.0
+          ? (s.transitioned_active ? 1.0 - context_hazard(cal_, bs, s.active, false,
+                                                          s.active, 1.0) / s.hazard_active
+                                   : 0.0)
+          : 0.0;
+  if (transition_part > 0.5) {
+    return rng.bernoulli(0.6) ? EpisodeKind::kTrueSetup : EpisodeKind::kTrueStall;
+  }
+  if (bs.in_disrepair()) {
+    return rng.bernoulli(0.35) && oos_prone_ ? EpisodeKind::kOutOfService
+                                             : EpisodeKind::kTrueStall;
+  }
+  // Baseline mix. Setup episodes average ~2 events, so the episode weights
+  // (8 / 14 / 3) yield the paper's 16 / 14 / 3 event mix.
+  const double oos_w = oos_prone_ ? 14.0 : 0.0;
+  const std::array<double, 3> w = {8.0, 14.0, oos_w};
+  switch (rng.discrete(w)) {
+    case 0: return EpisodeKind::kTrueSetup;
+    case 1: {
+      const double u = rng.next_double();
+      if (u < cal_.stall_system_side_fraction) return EpisodeKind::kSystemStallFp;
+      if (u < cal_.stall_system_side_fraction + cal_.stall_dns_only_fraction) {
+        return EpisodeKind::kDnsStallFp;
+      }
+      return EpisodeKind::kTrueStall;
+    }
+    default: return EpisodeKind::kOutOfService;
+  }
+}
+
+void Campaign::DeviceRun::prepare_cell(const Session& s, double base_failure_prob,
+                                       double overload_override) {
+  auto& tm = mod_->telephony();
+  const BaseStation& bs = registry_.at(s.active.bs);
+  ChannelConditions cond =
+      bs.channel_conditions(s.active.rat, s.active.level, base_failure_prob);
+  if (overload_override >= 0.0) cond.overload_rejection_prob = overload_override;
+  // Setups right after an inter-RAT transition carry handover semantics:
+  // their failures skew to the IRAT codes (§3.2 / Table 2).
+  cond.in_handover = s.transitioned_active && base_failure_prob > 0.0;
+  tm.ril().update_channel(cond);
+  tm.set_cell_context({s.active.bs, s.active.rat, s.active.level});
+}
+
+void Campaign::DeviceRun::drive_until(const std::function<bool()>& done,
+                                      std::uint64_t max_steps) {
+  std::uint64_t steps = 0;
+  while (!done() && steps < max_steps) {
+    if (!sim_->step()) break;
+    ++steps;
+  }
+  out_.simulated_events += steps;
+}
+
+bool Campaign::DeviceRun::ensure_active(const Session& s) {
+  auto& tm = mod_->telephony();
+  if (tm.dc_tracker().connection().is_active()) return true;
+  prepare_cell(s, 0.0, 0.0);
+  tm.dc_tracker().request_data();
+  drive_until([&] { return tm.dc_tracker().connection().is_active(); }, 50'000);
+  return tm.dc_tracker().connection().is_active();
+}
+
+void Campaign::DeviceRun::teardown_quietly() {
+  auto& tm = mod_->telephony();
+  tm.dc_tracker().teardown(false);
+  tm.stall_detector().stop();
+  traffic_running_ = false;
+}
+
+void Campaign::DeviceRun::schedule_traffic() {
+  if (!traffic_running_) return;
+  auto& tm = mod_->telephony();
+  const SimTime now = sim_->now();
+  tm.tcp().on_segment_sent(now);
+  // Inbound traffic flows only while the data path works end-to-end.
+  const NetworkFault f = tm.network().fault();
+  if (f == NetworkFault::kNone) tm.tcp().on_segment_received(now);
+  sim_->schedule_after(SimDuration::seconds(2.5), [this] { schedule_traffic(); });
+}
+
+bool Campaign::DeviceRun::stage_fix(RecoveryStage stage) {
+  auto& tm = mod_->telephony();
+  // Execute the real operation through the RIL for latency realism.
+  switch (stage) {
+    case RecoveryStage::kCleanupConnection:
+      tm.ril().deactivate_data_call([](const ModemResult&) {});
+      break;
+    case RecoveryStage::kReregister:
+      tm.ril().reregister([](const ModemResult&) {});
+      break;
+    case RecoveryStage::kRestartRadio:
+      tm.ril().restart_radio([](const ModemResult&) {});
+      break;
+  }
+  if (!stall_.open) return false;
+  const NetworkFault f = tm.network().fault();
+  if (f == NetworkFault::kNone) return true;  // already fixed
+  if (stall_.kind == EpisodeKind::kTrueStall) {
+    const double e = stall_.hardness_factor *
+                     cal_.stage_effectiveness[static_cast<std::size_t>(stage)];
+    if (rng_.bernoulli(e)) {
+      clear_fault();
+      return true;
+    }
+    return false;
+  }
+  if (stall_.kind == EpisodeKind::kSystemStallFp &&
+      f == NetworkFault::kModemDriverWedged && stage == RecoveryStage::kRestartRadio) {
+    // Power-cycling the radio un-wedges the driver most of the time.
+    if (rng_.bernoulli(0.7)) {
+      clear_fault();
+      return true;
+    }
+  }
+  return false;
+}
+
+void Campaign::DeviceRun::clear_fault() {
+  mod_->telephony().network().inject_fault(NetworkFault::kNone);
+  auto_clear_.cancel();
+  user_reset_.cancel();
+}
+
+void Campaign::DeviceRun::on_failure_event(const FailureEvent& event) {
+  // Ground-truth BS failure counters (kept failures only, as the backend
+  // counts them after filtering).
+  if (!is_false_positive(event.ground_truth_fp) && event.bs != kInvalidBs) {
+    registry_.at(event.bs).record_failure();
+  }
+  if (event.type != FailureType::kDataStall || !stall_.open || stall_.detected) return;
+  stall_.detected = true;
+  // Schedule the episode's autonomous resolution, sampled from the
+  // calibrated post-detection auto-recovery curve.
+  double auto_clear_s;
+  if (stall_.kind == EpisodeKind::kTrueStall) {
+    if (stall_.hardness_factor >= 1.0) {
+      auto_clear_s = cal_.stall_auto_recovery_cdf.sample(rng_);
+    } else if (stall_.hardness_factor > 0.0) {
+      // Hard stalls: the recovery loop usually wins before the network does.
+      auto_clear_s = std::min(cal_.max_failure_duration_s,
+                              rng_.lognormal(cal_.stall_hard_mu, cal_.stall_hard_sigma));
+    } else {
+      // BS-side outage: heals only when the network does.
+      auto_clear_s = std::min(
+          cal_.max_failure_duration_s,
+          rng_.lognormal(cal_.stall_unrecoverable_mu, cal_.stall_unrecoverable_sigma));
+    }
+  } else {
+    // Device-side problems persist for minutes unless recovery intervenes.
+    auto_clear_s = rng_.exponential(150.0);
+  }
+  auto_clear_ = sim_->schedule_after(SimDuration::seconds(auto_clear_s), [this] {
+    if (mod_->telephony().network().fault() != NetworkFault::kNone) clear_fault();
+  });
+  // The victim user manually resets the connection after ~30 s (§3.2).
+  if (stall_.kind == EpisodeKind::kTrueStall && rng_.bernoulli(cal_.user_reset_probability)) {
+    const double t =
+        std::max(5.0, rng_.normal(cal_.user_reset_mean_s, cal_.user_reset_stddev_s));
+    const bool works = stall_.hardness_factor >= 1.0 && rng_.bernoulli(cal_.user_reset_success);
+    user_reset_ = sim_->schedule_after(SimDuration::seconds(t), [this, works] {
+      if (mod_->telephony().network().fault() == NetworkFault::kNone) return;
+      if (works) {
+        mod_->telephony().recoverer().on_user_reset();
+        clear_fault();
+      }
+    });
+  }
+}
+
+void Campaign::DeviceRun::on_failure_cleared(FailureType type, SimTime /*at*/) {
+  if (type == FailureType::kDataStall && stall_.open) stall_.open = false;
+}
+
+void Campaign::DeviceRun::run_setup_episode(const Session& s, EpisodeKind kind) {
+  auto& tm = mod_->telephony();
+  auto& tracker = tm.dc_tracker();
+  const std::uint64_t failures_before = tracker.setup_failures();
+  std::uint64_t want_failures =
+      1 + rng_.geometric(cal_.setup_retries_geometric_p);
+  want_failures = std::min<std::uint64_t>(want_failures, 6);
+
+  switch (kind) {
+    case EpisodeKind::kTrueSetup:
+      prepare_cell(s, 1.0, 0.0);
+      break;
+    case EpisodeKind::kOverloadFp:
+      prepare_cell(s, 0.0, 1.0);
+      break;
+    case EpisodeKind::kBalanceFp:
+      prepare_cell(s, 0.0, 0.0);
+      observables_.account_suspended_notice = true;
+      tracker.suspend_for_balance();
+      break;
+    default:
+      prepare_cell(s, 1.0, 0.0);
+      break;
+  }
+  tracker.request_data();
+  drive_until([&] { return tracker.setup_failures() >= failures_before + want_failures; },
+              200'000);
+  // Clear the failure condition; the pending retry then succeeds and the
+  // monitor closes the episode.
+  if (kind == EpisodeKind::kBalanceFp) {
+    tracker.restore_service_account();
+    observables_.account_suspended_notice = false;
+  }
+  prepare_cell(s, 0.0, 0.0);
+  drive_until([&] { return tracker.connection().is_active(); }, 100'000);
+  teardown_quietly();
+}
+
+void Campaign::DeviceRun::run_stall_episode(const Session& s, EpisodeKind kind) {
+  auto& tm = mod_->telephony();
+  if (!ensure_active(s)) return;
+  stall_ = StallState{};
+  stall_.kind = kind;
+  stall_.open = true;
+  if (kind == EpisodeKind::kTrueStall) {
+    const double u = rng_.next_double();
+    if (u < cal_.stall_unrecoverable_fraction) {
+      stall_.hardness_factor = 0.0;
+    } else if (u < cal_.stall_unrecoverable_fraction + cal_.stall_hard_fraction) {
+      stall_.hardness_factor = rng_.uniform(cal_.stall_hard_factor_lo, cal_.stall_hard_factor_hi);
+    } else {
+      stall_.hardness_factor = 1.0;
+    }
+  } else {
+    stall_.hardness_factor = 0.0;
+  }
+
+  traffic_running_ = true;
+  schedule_traffic();
+  tm.stall_detector().start();
+
+  NetworkFault fault = NetworkFault::kNetworkStall;
+  if (kind == EpisodeKind::kSystemStallFp) {
+    const std::array<NetworkFault, 3> kSystem = {NetworkFault::kFirewallMisconfig,
+                                                 NetworkFault::kProxyBroken,
+                                                 NetworkFault::kModemDriverWedged};
+    fault = kSystem[static_cast<std::size_t>(rng_.uniform_int(0, 2))];
+  } else if (kind == EpisodeKind::kDnsStallFp) {
+    fault = NetworkFault::kDnsOutage;
+  }
+  tm.network().inject_fault(fault);
+
+  // Run until the detector withdraws the stall (fault cleared + traffic
+  // flowing), then drain the prober/monitor tail.
+  drive_until([&] { return !stall_.open; });
+  const SimTime drain_until = sim_->now() + SimDuration::seconds(30.0);
+  drive_until([&] { return sim_->now() >= drain_until; }, 100'000);
+  teardown_quietly();
+  auto_clear_.cancel();
+  user_reset_.cancel();
+  stall_ = StallState{};
+}
+
+void Campaign::DeviceRun::run_oos_episode(const Session& s) {
+  auto& tm = mod_->telephony();
+  prepare_cell(s, 0.0, 0.0);
+  double duration_s = rng_.lognormal(cal_.oos_duration_mu, cal_.oos_duration_sigma);
+  if (registry_.at(s.active.bs).in_disrepair()) {
+    duration_s *= cal_.oos_disrepair_multiplier;  // neglected sites
+  }
+  duration_s = std::min(duration_s, cal_.max_failure_duration_s);
+  tm.enter_out_of_service();
+  sim_->schedule_after(SimDuration::seconds(duration_s),
+                       [&tm] { tm.exit_out_of_service(); });
+  drive_until([&] { return !tm.service_state().out_of_service(); }, 200'000);
+}
+
+void Campaign::DeviceRun::run_episode(const Session& s, EpisodeKind kind) {
+  ++out_.episodes_run;
+  switch (kind) {
+    case EpisodeKind::kTrueSetup:
+    case EpisodeKind::kOverloadFp:
+    case EpisodeKind::kBalanceFp:
+      run_setup_episode(s, kind);
+      break;
+    case EpisodeKind::kVoiceCallFp: {
+      if (!ensure_active(s)) break;
+      auto& voice = mod_->telephony().voice();
+      observables_.in_voice_call = true;
+      // The incoming call rings, is (usually) answered, and while offhook
+      // the manager's hook drops the data connection — producing the false
+      // positive the filter must remove.
+      voice.incoming_call();
+      const SimTime cap = sim_->now() + SimDuration::minutes(10.0);
+      drive_until(
+          [&] { return voice.state() == CallState::kIdle || sim_->now() >= cap; },
+          100'000);
+      observables_.in_voice_call = false;
+      teardown_quietly();
+      break;
+    }
+    case EpisodeKind::kManualDisconnectFp: {
+      if (!ensure_active(s)) break;
+      observables_.mobile_data_enabled = false;
+      mod_->telephony().dc_tracker().teardown(true);
+      observables_.mobile_data_enabled = true;
+      break;
+    }
+    case EpisodeKind::kTrueStall:
+    case EpisodeKind::kSystemStallFp:
+    case EpisodeKind::kDnsStallFp:
+      run_stall_episode(s, kind);
+      break;
+    case EpisodeKind::kOutOfService:
+      run_oos_episode(s);
+      break;
+    case EpisodeKind::kLegacySms: {
+      // A message sent on a failing channel exhausts its RIL retries and
+      // surfaces as RIL_SMS_SEND_FAIL_RETRY (§3.1's legacy tail).
+      prepare_cell(s, 1.0, 0.0);
+      bool done = false;
+      mod_->telephony().sms().send([&](bool, int) { done = true; });
+      drive_until([&] { return done; }, 50'000);
+      prepare_cell(s, 0.0, 0.0);
+      break;
+    }
+    case EpisodeKind::kLegacyVoice:
+      mod_->telephony().report_legacy_failure(FailureType::kVoiceCallDrop);
+      break;
+  }
+}
+
+void Campaign::DeviceRun::execute() {
+  // Opt-in metadata for every device.
+  DeviceMeta meta;
+  meta.id = profile_.id;
+  meta.model_id = profile_.model->model_id;
+  meta.isp = profile_.isp;
+  meta.has_5g = profile_.model->has_5g;
+  meta.android = profile_.model->android;
+  out_.dataset.devices.push_back(meta);
+
+  // Susceptibility to failures: per-model prevalence scaled by the ISP's
+  // coverage quality (§3.3).
+  const double prevalence =
+      std::clamp(profile_.model->paper_prevalence *
+                     cal_.isp_prevalence_factor[index_of(profile_.isp)],
+                 0.0, 1.0);
+  failure_free_ = !rng_.bernoulli(prevalence);
+  oos_prone_ = rng_.bernoulli(cal_.oos_prone_fraction);
+
+  plan_sessions();
+
+  if (failure_free_) {
+    for (const Session& s : sessions_) account_session(s, false);
+    return;
+  }
+
+  build_stack();
+
+  // Per-session failure probabilities, normalized against the STOCK policy
+  // so policy improvements causally reduce realized failures.
+  const double freq = profile_.model->paper_frequency *
+                      cal_.isp_frequency_factor[index_of(profile_.isp)];
+  const double target_events =
+      std::clamp(freq * profile_.susceptibility / cal_.susceptibility_mean, 1.0, 3000.0);
+  const double target_episodes = std::max(1.0, target_events / 1.32);
+  double hazard_sum = 0.0;
+  for (const Session& s : sessions_) hazard_sum += s.hazard_stock;
+  const double scale = hazard_sum > 0.0 ? target_episodes / hazard_sum : 0.0;
+
+  for (const Session& s : sessions_) {
+    if (sim_->now() < s.at) sim_->run_until(s.at);
+    const double p = std::min(cal_.session_failure_cap, s.hazard_active * scale);
+    const bool fail = rng_.bernoulli(p);
+    account_session(s, fail);
+    if (!fail) continue;
+    run_episode(s, pick_kind(s));
+
+    // Occasional false-positive extras ride along with real activity.
+    if (rng_.bernoulli(cal_.fp_overload_rate)) run_episode(s, EpisodeKind::kOverloadFp);
+    if (rng_.bernoulli(cal_.fp_voice_call_rate)) run_episode(s, EpisodeKind::kVoiceCallFp);
+    if (rng_.bernoulli(cal_.fp_manual_disconnect_rate)) {
+      run_episode(s, EpisodeKind::kManualDisconnectFp);
+    }
+    if (rng_.bernoulli(cal_.fp_balance_rate)) run_episode(s, EpisodeKind::kBalanceFp);
+    // Legacy tail (<1% of events).
+    if (rng_.bernoulli(0.01)) run_episode(s, EpisodeKind::kLegacySms);
+    if (rng_.bernoulli(0.005)) run_episode(s, EpisodeKind::kLegacyVoice);
+
+    // Overnight WiFi flushes the buffered records now and then.
+    if (rng_.bernoulli(0.3)) {
+      mod_->monitor().set_wifi_available(true);
+      mod_->monitor().set_wifi_available(false);
+    }
+  }
+
+  // Drain and close.
+  mod_->shutdown();
+  drive_until([&] { return sim_->pending_events() == 0; }, 500'000);
+
+  const OverheadAccountant& oh = mod_->monitor().overhead();
+  auto& sum = out_.overhead;
+  const double n = static_cast<double>(sum.monitored_devices);
+  sum.avg_cpu_utilization =
+      (sum.avg_cpu_utilization * n + oh.cpu_utilization_during_failures()) / (n + 1);
+  sum.worst_cpu_utilization =
+      std::max(sum.worst_cpu_utilization, oh.cpu_utilization_during_failures());
+  sum.avg_peak_memory_bytes = static_cast<std::uint64_t>(
+      (static_cast<double>(sum.avg_peak_memory_bytes) * n + static_cast<double>(oh.peak_memory_bytes())) / (n + 1));
+  sum.worst_peak_memory_bytes = std::max(sum.worst_peak_memory_bytes, oh.peak_memory_bytes());
+  sum.avg_storage_bytes = static_cast<std::uint64_t>(
+      (static_cast<double>(sum.avg_storage_bytes) * n + static_cast<double>(oh.storage_bytes())) / (n + 1));
+  sum.worst_storage_bytes = std::max(sum.worst_storage_bytes, oh.storage_bytes());
+  sum.avg_cellular_bytes = static_cast<std::uint64_t>(
+      (static_cast<double>(sum.avg_cellular_bytes) * n + static_cast<double>(oh.cellular_bytes())) / (n + 1));
+  sum.worst_cellular_bytes = std::max(sum.worst_cellular_bytes, oh.cellular_bytes());
+  sum.avg_wifi_upload_bytes = static_cast<std::uint64_t>(
+      (static_cast<double>(sum.avg_wifi_upload_bytes) * n + static_cast<double>(oh.wifi_upload_bytes())) / (n + 1));
+  ++sum.monitored_devices;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign
+// ---------------------------------------------------------------------------
+
+Campaign::Campaign(Scenario scenario)
+    : scenario_(std::move(scenario)), master_rng_(scenario_.seed) {
+  Rng deployment_rng = master_rng_.fork(0xb5u);
+  registry_ = std::make_unique<BsRegistry>(scenario_.deployment, deployment_rng);
+}
+
+CampaignResult Campaign::run() {
+  CampaignResult result;
+  result.dataset.records.reserve(scenario_.device_count / 2);
+  result.dataset.devices.reserve(scenario_.device_count);
+
+  PopulationBuilder builder;
+  Rng fleet_rng = master_rng_.fork(0xf1ee7ULL);
+  const std::vector<DeviceProfile> fleet =
+      builder.build(scenario_.device_count, fleet_rng);
+
+  for (const DeviceProfile& profile : fleet) {
+    DeviceRun run(scenario_, *registry_, profile, master_rng_.fork(profile.id), result);
+    run.execute();
+  }
+
+  // Snapshot the BS landscape (counters included) into the dataset.
+  result.dataset.base_stations.reserve(registry_->size());
+  for (const BaseStation& bs : registry_->all()) {
+    BsMeta meta;
+    meta.index = bs.index();
+    meta.isp = bs.isp();
+    meta.rat_mask = bs.rat_mask();
+    meta.location = bs.location();
+    meta.failure_count = bs.failure_count();
+    result.dataset.base_stations.push_back(meta);
+  }
+  return result;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,77 @@
+// Campaign driver: runs a fleet through the full stack and collects the
+// backend dataset.
+//
+// Devices are simulated one at a time (deterministically forked RNG per
+// device id), each with its own discrete-event simulator and Android-MOD
+// instance. Failure-free devices (the 77% majority) contribute metadata,
+// connected time and dwell/transition samples only; failing devices run
+// every failure episode through the real telephony + monitoring machinery:
+// modem error codes, DcTracker retries, kernel TCP counters, stall
+// detection, three-stage recovery, probing, false-positive filtering,
+// WiFi-gated upload.
+//
+// Hazard normalization: per-session failure probabilities are shaped by the
+// session context (ISP, BS, signal level, RAT transition, policy) and
+// scaled so that the *stock-policy* expectation matches the device's
+// calibrated target count. Running an improved policy therefore lowers
+// realized failures causally rather than by construction — the mechanism
+// behind the Fig. 19/20 A/B comparison.
+
+#ifndef CELLREL_WORKLOAD_CAMPAIGN_H
+#define CELLREL_WORKLOAD_CAMPAIGN_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "analysis/dataset.h"
+#include "bs/registry.h"
+#include "core/android_mod.h"
+#include "device/device.h"
+#include "workload/scenario.h"
+
+namespace cellrel {
+
+/// Fleet-level monitoring overhead summary (§2.2 / §4.3 numbers).
+struct OverheadSummary {
+  double avg_cpu_utilization = 0.0;
+  double worst_cpu_utilization = 0.0;
+  std::uint64_t avg_peak_memory_bytes = 0;
+  std::uint64_t worst_peak_memory_bytes = 0;
+  std::uint64_t avg_storage_bytes = 0;
+  std::uint64_t worst_storage_bytes = 0;
+  std::uint64_t avg_cellular_bytes = 0;
+  std::uint64_t worst_cellular_bytes = 0;
+  std::uint64_t avg_wifi_upload_bytes = 0;
+  std::uint64_t monitored_devices = 0;
+};
+
+struct CampaignResult {
+  TraceDataset dataset;
+  std::vector<RecoveryEpisode> recovery_episodes;
+  OverheadSummary overhead;
+  std::uint64_t simulated_events = 0;
+  std::uint64_t episodes_run = 0;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(Scenario scenario);
+
+  /// Runs the whole campaign. Deterministic for a given scenario seed.
+  CampaignResult run();
+
+  /// The BS registry (shared across devices; owned by the campaign).
+  const BsRegistry& registry() const { return *registry_; }
+
+ private:
+  class DeviceRun;  // per-device engine (campaign.cpp)
+
+  Scenario scenario_;
+  Rng master_rng_;
+  std::unique_ptr<BsRegistry> registry_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_WORKLOAD_CAMPAIGN_H

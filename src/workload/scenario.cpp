@@ -1,0 +1,21 @@
+#include "workload/scenario.h"
+
+namespace cellrel {
+
+std::string_view to_string(PolicyVariant v) {
+  switch (v) {
+    case PolicyVariant::kStock: return "stock";
+    case PolicyVariant::kStabilityCompatible: return "stability-compatible";
+  }
+  return "?";
+}
+
+std::string_view to_string(RecoveryVariant v) {
+  switch (v) {
+    case RecoveryVariant::kVanilla: return "vanilla-60s";
+    case RecoveryVariant::kTimpOptimized: return "timp-optimized";
+  }
+  return "?";
+}
+
+}  // namespace cellrel

@@ -1,0 +1,59 @@
+// Campaign scenario configuration.
+
+#ifndef CELLREL_WORKLOAD_SCENARIO_H
+#define CELLREL_WORKLOAD_SCENARIO_H
+
+#include <cstdint>
+#include <string>
+
+#include "bs/deployment.h"
+#include "telephony/recovery.h"
+#include "workload/calibration.h"
+
+namespace cellrel {
+
+/// Which RAT selection policy 5G-capable devices run. Non-5G devices always
+/// run their Android version's stock policy.
+enum class PolicyVariant : std::uint8_t {
+  kStock = 0,             // Android 9 / Android 10 behaviour per model
+  kStabilityCompatible,   // the paper's §4.2 policy + 4G/5G dual connectivity
+};
+
+std::string_view to_string(PolicyVariant v);
+
+/// Which Data_Stall recovery trigger devices run.
+enum class RecoveryVariant : std::uint8_t {
+  kVanilla = 0,     // fixed 60 s probations
+  kTimpOptimized,   // schedule produced by the TIMP optimizer
+};
+
+std::string_view to_string(RecoveryVariant v);
+
+struct Scenario {
+  std::string name = "measurement";
+  std::uint64_t seed = 20200101;
+  std::uint32_t device_count = 20'000;
+  double campaign_days = 240.0;  // Jan-Aug 2020
+
+  DeploymentConfig deployment;
+
+  PolicyVariant policy = PolicyVariant::kStock;
+  /// 4G/5G dual connectivity rides along with the stability-compatible
+  /// policy (§4.2); switchable for the ablation bench.
+  bool dual_connectivity = true;
+  RecoveryVariant recovery = RecoveryVariant::kVanilla;
+  /// Probations used when recovery == kTimpOptimized (filled by the caller
+  /// from RecoveryOptimizer output; defaults to the paper's result).
+  ProbationSchedule timp_schedule =
+      make_probation_schedule(21.0, 6.0, 16.0, "timp-optimized");
+
+  /// Android-MOD active probing for stall durations (false = vanilla
+  /// fixed-interval estimation; the probe-ladder ablation).
+  bool monitor_probing = true;
+
+  Calibration calibration = default_calibration();
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_WORKLOAD_SCENARIO_H

@@ -1,0 +1,63 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+TEST(SimDuration, ConstructionAndConversion) {
+  EXPECT_EQ(SimDuration::seconds(1.5).count_us(), 1'500'000);
+  EXPECT_EQ(SimDuration::milliseconds(20).count_us(), 20'000);
+  EXPECT_EQ(SimDuration::minutes(2).count_us(), 120'000'000);
+  EXPECT_DOUBLE_EQ(SimDuration::hours(1).to_seconds(), 3600.0);
+  EXPECT_DOUBLE_EQ(SimDuration::days(1).to_seconds(), 86'400.0);
+  EXPECT_DOUBLE_EQ(SimDuration::seconds(90).to_minutes(), 1.5);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const SimDuration a = SimDuration::seconds(10);
+  const SimDuration b = SimDuration::seconds(4);
+  EXPECT_EQ((a + b).to_seconds(), 14.0);
+  EXPECT_EQ((a - b).to_seconds(), 6.0);
+  EXPECT_EQ((a * 2.5).to_seconds(), 25.0);
+  EXPECT_EQ((2.5 * a).to_seconds(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  SimDuration c = a;
+  c += b;
+  EXPECT_EQ(c.to_seconds(), 14.0);
+  c -= a;
+  EXPECT_EQ(c.to_seconds(), 4.0);
+}
+
+TEST(SimDuration, Comparison) {
+  EXPECT_LT(SimDuration::seconds(1), SimDuration::seconds(2));
+  EXPECT_EQ(SimDuration::seconds(1), SimDuration::milliseconds(1000));
+  EXPECT_TRUE(SimDuration::zero().is_zero());
+  EXPECT_TRUE((SimDuration::zero() - SimDuration::seconds(1)).is_negative());
+}
+
+TEST(SimTime, OriginAndOffsets) {
+  const SimTime t0 = SimTime::origin();
+  const SimTime t1 = t0 + SimDuration::seconds(30);
+  EXPECT_EQ((t1 - t0).to_seconds(), 30.0);
+  EXPECT_LT(t0, t1);
+  EXPECT_EQ((t1 - SimDuration::seconds(30)), t0);
+  SimTime t2 = t0;
+  t2 += SimDuration::minutes(1);
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 60.0);
+}
+
+TEST(SimTime, FromSeconds) {
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(12.25).to_seconds(), 12.25);
+  EXPECT_GT(SimTime::max(), SimTime::from_seconds(1e12));
+}
+
+TEST(SimTimeToString, HumanReadableScales) {
+  EXPECT_EQ(to_string(SimDuration::milliseconds(250)), "250ms");
+  EXPECT_EQ(to_string(SimDuration::seconds(5.25)), "5.2s");
+  EXPECT_EQ(to_string(SimDuration::minutes(3.1)), "3.1min");
+  EXPECT_EQ(to_string(SimDuration::hours(25.5)), "25.5h");
+}
+
+}  // namespace
+}  // namespace cellrel

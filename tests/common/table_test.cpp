@@ -1,0 +1,48 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer-name", "22"});
+  const std::string out = table.render();
+  // Every rendered line has the same width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, first_len);
+    pos = next + 1;
+  }
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+  EXPECT_EQ(TextTable::percent(0.236), "23.6%");
+  EXPECT_EQ(TextTable::percent(0.2, 2), "20.00%");
+}
+
+TEST(TextTable, HeaderSeparatorPresent) {
+  TextTable table({"x"});
+  table.add_row({"1"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellrel

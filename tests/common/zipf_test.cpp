@@ -1,0 +1,80 @@
+#include "common/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cellrel {
+namespace {
+
+TEST(ZipfSampler, RanksInBounds) {
+  Rng rng(1);
+  ZipfSampler sampler(100, 0.8);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::size_t r = sampler.sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfSampler, Rank1MostFrequent) {
+  Rng rng(2);
+  ZipfSampler sampler(50, 1.0);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+  // P(rank 1) / P(rank 2) ~ 2^s = 2.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.25);
+}
+
+TEST(FitZipf, RecoversExponentFromSyntheticCounts) {
+  // counts(rank) = exp(b) * rank^{-a} with a = 0.82, b = 17.12 (Fig. 11).
+  std::vector<std::uint64_t> counts;
+  for (int rank = 1; rank <= 5000; ++rank) {
+    counts.push_back(static_cast<std::uint64_t>(
+        std::exp(17.12) * std::pow(static_cast<double>(rank), -0.82)));
+  }
+  const ZipfFit fit = fit_zipf(counts);
+  EXPECT_NEAR(fit.a, 0.82, 0.02);
+  EXPECT_NEAR(fit.b, 17.12, 0.2);
+  EXPECT_GT(fit.r_squared, 0.999);
+}
+
+TEST(FitZipf, UnsortedInputAndZeros) {
+  std::vector<std::uint64_t> counts = {0, 100, 0, 50, 200, 0, 25};
+  const ZipfFit fit = fit_zipf(counts);
+  EXPECT_GT(fit.a, 0.0);  // decaying
+  EXPECT_GT(fit.r_squared, 0.9);
+}
+
+TEST(FitZipf, DegenerateInputs) {
+  std::vector<std::uint64_t> empty;
+  EXPECT_EQ(fit_zipf(empty).a, 0.0);
+  std::vector<std::uint64_t> single = {42};
+  EXPECT_EQ(fit_zipf(single).a, 0.0);
+  std::vector<std::uint64_t> zeros = {0, 0, 0};
+  EXPECT_EQ(fit_zipf(zeros).a, 0.0);
+}
+
+// Round-trip property: sampling from a Zipf and fitting the resulting counts
+// recovers the exponent, across several exponents.
+class ZipfRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfRoundTripTest, SampleThenFit) {
+  const double s = GetParam();
+  Rng rng(33);
+  ZipfSampler sampler(2000, s);
+  std::vector<std::uint64_t> counts(2000, 0);
+  for (int i = 0; i < 2'000'000; ++i) ++counts[sampler.sample(rng) - 1];
+  const ZipfFit fit = fit_zipf(counts);
+  // Finite-sample truncation biases the tail; accept a loose band.
+  EXPECT_NEAR(fit.a, s, 0.15) << "s=" << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfRoundTripTest, ::testing::Values(0.6, 0.82, 1.0));
+
+}  // namespace
+}  // namespace cellrel

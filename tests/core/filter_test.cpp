@@ -1,0 +1,89 @@
+#include "core/false_positive_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+FailureEvent setup_error(FailCause cause) {
+  FailureEvent e;
+  e.type = FailureType::kDataSetupError;
+  e.cause = cause;
+  return e;
+}
+
+TEST(FalsePositiveFilter, KeepsGenuineFailures) {
+  FalsePositiveFilter filter;
+  const DeviceObservables obs;
+  for (FailCause c : {FailCause::kGprsRegistrationFail, FailCause::kSignalLost,
+                      FailCause::kInvalidEmmState, FailCause::kPppTimeout,
+                      FailCause::kEmmAccessBarred}) {
+    const FilterVerdict v = filter.classify(setup_error(c), obs);
+    EXPECT_FALSE(v.false_positive) << to_string(c);
+  }
+}
+
+TEST(FalsePositiveFilter, RemovesOverloadRejectionsByCode) {
+  FalsePositiveFilter filter;
+  const DeviceObservables obs;
+  for (FailCause c : {FailCause::kInsufficientResources, FailCause::kCongestion,
+                      FailCause::kOperatorDeterminedBarring}) {
+    const FilterVerdict v = filter.classify(setup_error(c), obs);
+    EXPECT_TRUE(v.false_positive) << to_string(c);
+    EXPECT_EQ(v.rule, FilterVerdict::Rule::kErrorCodeCorrelated);
+  }
+}
+
+TEST(FalsePositiveFilter, ManualDisconnectViaObservables) {
+  FalsePositiveFilter filter;
+  DeviceObservables obs;
+  obs.mobile_data_enabled = false;
+  const FilterVerdict v = filter.classify(setup_error(FailCause::kSignalLost), obs);
+  EXPECT_TRUE(v.false_positive);
+  EXPECT_EQ(v.rule, FilterVerdict::Rule::kManualDisconnect);
+}
+
+TEST(FalsePositiveFilter, AirplaneModeIsManualDisconnect) {
+  FalsePositiveFilter filter;
+  DeviceObservables obs;
+  obs.airplane_mode = true;
+  const FilterVerdict v = filter.classify(setup_error(FailCause::kRadioPowerOff), obs);
+  EXPECT_TRUE(v.false_positive);
+  EXPECT_EQ(v.rule, FilterVerdict::Rule::kManualDisconnect);
+}
+
+TEST(FalsePositiveFilter, VoiceCallOnlyAffectsSetupErrors) {
+  FalsePositiveFilter filter;
+  DeviceObservables obs;
+  obs.in_voice_call = true;
+  EXPECT_TRUE(filter.classify(setup_error(FailCause::kCdmaIncomingCall), obs).false_positive);
+  FailureEvent oos;
+  oos.type = FailureType::kOutOfService;
+  EXPECT_FALSE(filter.classify(oos, obs).false_positive);
+}
+
+TEST(FalsePositiveFilter, AccountSuspensionRule) {
+  FalsePositiveFilter filter;
+  DeviceObservables obs;
+  obs.account_suspended_notice = true;
+  FailureEvent oos;
+  oos.type = FailureType::kOutOfService;
+  const FilterVerdict v = filter.classify(oos, obs);
+  EXPECT_TRUE(v.false_positive);
+  EXPECT_EQ(v.rule, FilterVerdict::Rule::kAccountSuspension);
+}
+
+TEST(FalsePositiveFilter, GenuineOosIsKept) {
+  FalsePositiveFilter filter;
+  FailureEvent oos;
+  oos.type = FailureType::kOutOfService;
+  EXPECT_FALSE(filter.classify(oos, DeviceObservables{}).false_positive);
+}
+
+TEST(FalsePositiveFilter, RuleNames) {
+  EXPECT_EQ(to_string(FilterVerdict::Rule::kErrorCodeCorrelated), "error-code-correlated");
+  EXPECT_EQ(to_string(FilterVerdict::Rule::kNone), "none");
+}
+
+}  // namespace
+}  // namespace cellrel

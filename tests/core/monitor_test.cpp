@@ -1,0 +1,271 @@
+// Integration tests for the Android-MOD monitoring service: a full device
+// stack (telephony + network + monitor) driven through failure scenarios.
+
+#include "core/monitor_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/android_mod.h"
+
+namespace cellrel {
+namespace {
+
+struct DeviceHarness {
+  Simulator sim;
+  std::vector<TraceRecord> uploaded;
+  AndroidMod mod;
+  DeviceObservables observables;
+
+  explicit DeviceHarness(AndroidMod::Config config = make_config())
+      : mod(sim, Rng{11}, std::move(config),
+            [this](std::vector<TraceRecord>&& batch) {
+              for (auto& r : batch) uploaded.push_back(std::move(r));
+            }) {
+    mod.monitor().set_observables_source([this] { return observables_copy(); });
+    set_healthy_channel();
+    mod.telephony().set_cell_context({4, Rat::k4G, SignalLevel::kLevel3});
+  }
+
+  static AndroidMod::Config make_config() {
+    AndroidMod::Config c;
+    c.identity = {77, 23, IspId::kIspB};
+    return c;
+  }
+
+  DeviceObservables observables_copy() const { return observables; }
+
+  void set_healthy_channel() {
+    ChannelConditions cond;
+    cond.level = SignalLevel::kLevel3;
+    mod.telephony().ril().update_channel(cond);
+  }
+  void set_failing_channel() {
+    ChannelConditions cond;
+    cond.level = SignalLevel::kLevel3;
+    cond.base_failure_prob = 1.0;
+    mod.telephony().ril().update_channel(cond);
+  }
+
+  /// Drives app traffic for `seconds`, sending every 2 s and receiving only
+  /// while the network path is healthy.
+  void drive_traffic(double seconds) {
+    auto& tm = mod.telephony();
+    const SimTime end = sim.now() + SimDuration::seconds(seconds);
+    for (SimTime t = sim.now(); t < end; t += SimDuration::seconds(2.0)) {
+      sim.schedule_at(t, [&tm, this] {
+        tm.tcp().on_segment_sent(sim.now());
+        if (tm.network().fault() == NetworkFault::kNone) {
+          tm.tcp().on_segment_received(sim.now());
+        }
+      });
+    }
+  }
+
+  void finish() {
+    mod.shutdown();
+    sim.run();
+  }
+};
+
+TEST(MonitorService, SetupEpisodeRecordsEventsWithSplitDuration) {
+  DeviceHarness h;
+  h.set_failing_channel();
+  h.mod.telephony().dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(8.0));
+  h.set_healthy_channel();
+  h.sim.run_until(SimTime::origin() + SimDuration::minutes(2.0));
+  ASSERT_TRUE(h.mod.telephony().dc_tracker().connection().is_active());
+  h.finish();
+
+  ASSERT_GE(h.uploaded.size(), 2u);
+  double total = 0.0;
+  for (const auto& r : h.uploaded) {
+    EXPECT_EQ(r.type, FailureType::kDataSetupError);
+    EXPECT_EQ(r.device, 77u);
+    EXPECT_EQ(r.model_id, 23);
+    EXPECT_EQ(r.isp, IspId::kIspB);
+    EXPECT_EQ(r.duration_method, DurationMethod::kStateTracking);
+    EXPECT_FALSE(r.filtered_false_positive);
+    EXPECT_NE(r.cause, FailCause::kNone);
+    total += r.duration.to_seconds();
+  }
+  // The episode durations sum to the time from first failure to activation.
+  EXPECT_GT(total, 1.0);
+  EXPECT_LT(total, 125.0);
+}
+
+TEST(MonitorService, StallMeasuredByProbing) {
+  DeviceHarness h;
+  auto& tm = h.mod.telephony();
+  tm.dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(5.0));
+  ASSERT_TRUE(tm.dc_tracker().connection().is_active());
+
+  h.mod.boot();
+  h.drive_traffic(400.0);
+  // Outage starts at t=20 s and heals 90 s later.
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(20.0), [&] {
+    tm.network().inject_fault(NetworkFault::kNetworkStall);
+  });
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(110.0), [&] {
+    tm.network().inject_fault(NetworkFault::kNone);
+  });
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(400.0));
+  h.finish();
+
+  const TraceRecord* stall = nullptr;
+  for (const auto& r : h.uploaded) {
+    if (r.type == FailureType::kDataStall) stall = &r;
+  }
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->duration_method, DurationMethod::kProbing);
+  EXPECT_FALSE(stall->filtered_false_positive);
+  EXPECT_GT(stall->probe_rounds, 1u);
+  // Detection needs the 60 s TCP window to drain, so the measured duration
+  // (detection -> heal) is below the raw 90 s outage but well above zero.
+  EXPECT_GT(stall->duration.to_seconds(), 10.0);
+  EXPECT_LT(stall->duration.to_seconds(), 90.0);
+}
+
+TEST(MonitorService, SystemSideStallFilteredByProber) {
+  DeviceHarness h;
+  auto& tm = h.mod.telephony();
+  tm.dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(5.0));
+  h.mod.boot();
+  h.drive_traffic(300.0);
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(20.0), [&] {
+    tm.network().inject_fault(NetworkFault::kProxyBroken);
+  });
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(200.0), [&] {
+    tm.network().inject_fault(NetworkFault::kNone);
+  });
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(300.0));
+  h.finish();
+
+  const TraceRecord* stall = nullptr;
+  for (const auto& r : h.uploaded) {
+    if (r.type == FailureType::kDataStall) stall = &r;
+  }
+  ASSERT_NE(stall, nullptr);
+  EXPECT_TRUE(stall->filtered_false_positive);
+  EXPECT_EQ(stall->ground_truth_fp, FalsePositiveKind::kSystemSideStall);
+}
+
+TEST(MonitorService, VanillaFallbackRoundsToMinutes) {
+  AndroidMod::Config config = DeviceHarness::make_config();
+  config.monitor.use_probing = false;
+  DeviceHarness h(std::move(config));
+  auto& tm = h.mod.telephony();
+  tm.dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(5.0));
+  h.mod.boot();
+  h.drive_traffic(500.0);
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(20.0), [&] {
+    tm.network().inject_fault(NetworkFault::kNetworkStall);
+  });
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(130.0), [&] {
+    tm.network().inject_fault(NetworkFault::kNone);
+  });
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(500.0));
+  h.finish();
+
+  const TraceRecord* stall = nullptr;
+  for (const auto& r : h.uploaded) {
+    if (r.type == FailureType::kDataStall) stall = &r;
+  }
+  ASSERT_NE(stall, nullptr);
+  EXPECT_EQ(stall->duration_method, DurationMethod::kAndroidFallback);
+  // Whole-minute granularity.
+  const double d = stall->duration.to_seconds();
+  EXPECT_DOUBLE_EQ(d, std::ceil(d / 60.0) * 60.0);
+  EXPECT_GE(d, 60.0);
+}
+
+TEST(MonitorService, OosEpisodeTracked) {
+  DeviceHarness h;
+  auto& tm = h.mod.telephony();
+  tm.enter_out_of_service();
+  h.sim.schedule_after(SimDuration::seconds(73.0), [&] { tm.exit_out_of_service(); });
+  h.sim.run();
+  h.finish();
+  ASSERT_EQ(h.uploaded.size(), 1u);
+  const auto& r = h.uploaded.front();
+  EXPECT_EQ(r.type, FailureType::kOutOfService);
+  EXPECT_DOUBLE_EQ(r.duration.to_seconds(), 73.0);
+  EXPECT_EQ(r.duration_method, DurationMethod::kStateTracking);
+}
+
+TEST(MonitorService, LegacyFailureRecordedInstantly) {
+  DeviceHarness h;
+  h.mod.telephony().report_legacy_failure(FailureType::kSmsSendFail);
+  h.finish();
+  ASSERT_EQ(h.uploaded.size(), 1u);
+  EXPECT_EQ(h.uploaded.front().type, FailureType::kSmsSendFail);
+  EXPECT_EQ(h.uploaded.front().duration_method, DurationMethod::kNone);
+}
+
+TEST(MonitorService, CellIdentityResolved) {
+  DeviceHarness h;
+  h.mod.monitor().set_cell_resolver([](BsIndex bs) {
+    return CellIdentity{CellGlobalId{460, 0, 100, bs}};
+  });
+  h.set_failing_channel();
+  h.mod.telephony().dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(3.0));
+  h.set_healthy_channel();
+  h.sim.run_until(SimTime::origin() + SimDuration::minutes(2.0));
+  h.finish();
+  ASSERT_FALSE(h.uploaded.empty());
+  const auto& cell = std::get<CellGlobalId>(h.uploaded.front().cell);
+  EXPECT_EQ(cell.cid, 4u);
+}
+
+TEST(MonitorService, OverheadAccumulates) {
+  DeviceHarness h;
+  h.set_failing_channel();
+  h.mod.telephony().dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(5.0));
+  h.set_healthy_channel();
+  h.sim.run_until(SimTime::origin() + SimDuration::minutes(2.0));
+  h.finish();
+  const auto& oh = h.mod.monitor().overhead();
+  EXPECT_GT(oh.cpu_busy_time(), SimDuration::zero());
+  EXPECT_GT(oh.storage_bytes(), 0u);
+  EXPECT_EQ(h.mod.monitor().records_written(), h.uploaded.size());
+}
+
+TEST(AndroidMod, RecoveryBridgeDrivesRecoverer) {
+  DeviceHarness h;
+  auto& tm = h.mod.telephony();
+  // Swap in a deterministic recovery hook: stage 1 always fixes.
+  std::vector<RecoveryEpisode> episodes;
+  tm.recoverer().set_hooks(DataStallRecoverer::Hooks{
+      [&tm](RecoveryStage) {
+        tm.network().inject_fault(NetworkFault::kNone);
+        return true;
+      },
+      [&tm] { return tm.network().fault() != NetworkFault::kNone; },
+      [&](const RecoveryEpisode& ep) { episodes.push_back(ep); }});
+
+  tm.dc_tracker().request_data();
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(5.0));
+  h.mod.boot();
+  h.drive_traffic(400.0);
+  h.sim.schedule_at(SimTime::origin() + SimDuration::seconds(20.0), [&] {
+    tm.network().inject_fault(NetworkFault::kNetworkStall);
+  });
+  h.sim.run_until(SimTime::origin() + SimDuration::seconds(400.0));
+  h.finish();
+
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].outcome, RecoveryOutcome::kFixedByStage);
+  EXPECT_EQ(episodes[0].fixed_by, RecoveryStage::kCleanupConnection);
+  // Vanilla probation: the stage ran 60 s after detection.
+  EXPECT_NEAR(episodes[0].duration().to_seconds(), 60.0, 1.0);
+}
+
+}  // namespace
+}  // namespace cellrel

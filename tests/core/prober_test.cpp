@@ -1,0 +1,145 @@
+#include "core/prober.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace cellrel {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  NetworkStack stack{sim, Rng{5}};
+  NetworkStateProber prober{sim, stack};
+  std::optional<NetworkStateProber::Report> report;
+
+  void start(SimTime stall_started = SimTime::origin()) {
+    prober.start(stall_started,
+                 [this](const NetworkStateProber::Report& r) { report = r; });
+  }
+};
+
+TEST(Prober, SystemSideFaultClassifiedInFirstRound) {
+  Fixture f;
+  f.stack.inject_fault(NetworkFault::kFirewallMisconfig);
+  f.start();
+  f.sim.run();
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_EQ(f.report->result, ProbeEpisodeResult::kSystemSideFalsePositive);
+  EXPECT_EQ(f.report->rounds, 1u);
+  // One round is bounded by the DNS timeout: "at most five seconds" (§2.2).
+  EXPECT_LE(f.report->measured_duration, SimDuration::seconds(5.0));
+}
+
+TEST(Prober, DnsOnlyOutageClassified) {
+  Fixture f;
+  f.stack.inject_fault(NetworkFault::kDnsOutage);
+  f.start();
+  f.sim.run();
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_EQ(f.report->result, ProbeEpisodeResult::kDnsOnlyFalsePositive);
+}
+
+TEST(Prober, HealthyNetworkResolvesImmediately) {
+  Fixture f;
+  f.start();
+  f.sim.run();
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_EQ(f.report->result, ProbeEpisodeResult::kNetworkStallResolved);
+  EXPECT_EQ(f.report->rounds, 1u);
+  EXPECT_LT(f.report->measured_duration, SimDuration::seconds(1.0));
+}
+
+TEST(Prober, MeasuresStallDurationWithinFiveSeconds) {
+  // True stall that heals after 47 s: the prober's measurement error is at
+  // most one round (<= 5 s), far below vanilla Android's one minute (§2.2).
+  Fixture f;
+  f.stack.inject_fault(NetworkFault::kNetworkStall);
+  f.sim.schedule_after(SimDuration::seconds(47.0), [&] {
+    f.stack.inject_fault(NetworkFault::kNone);
+  });
+  f.start();
+  f.sim.run();
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_EQ(f.report->result, ProbeEpisodeResult::kNetworkStallResolved);
+  const double measured = f.report->measured_duration.to_seconds();
+  EXPECT_GE(measured, 47.0);
+  EXPECT_LE(measured, 52.0);
+  EXPECT_FALSE(f.report->reverted_to_fallback);
+  // ~1 round per 5 s of stall.
+  EXPECT_NEAR(static_cast<double>(f.report->rounds), 10.0, 2.0);
+}
+
+TEST(Prober, StartOffsetAccountedInDuration) {
+  // Detection happened 30 s before the prober started (e.g. queued work):
+  // the reported duration is measured from the stall start.
+  Fixture f;
+  f.stack.inject_fault(NetworkFault::kNetworkStall);
+  f.sim.schedule_after(SimDuration::seconds(10.0), [&] {
+    f.stack.inject_fault(NetworkFault::kNone);
+  });
+  f.sim.schedule_after(SimDuration::seconds(0.0), [&] {
+    f.start(SimTime::origin() - SimDuration::seconds(30.0));
+  });
+  f.sim.run();
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_GE(f.report->measured_duration.to_seconds(), 40.0);
+}
+
+TEST(Prober, AbortSuppressesClassification) {
+  Fixture f;
+  f.stack.inject_fault(NetworkFault::kNetworkStall);
+  f.start();
+  f.sim.schedule_after(SimDuration::seconds(7.0), [&] { f.prober.abort(); });
+  f.sim.run_until(SimTime::origin() + SimDuration::seconds(8.0));
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_EQ(f.report->result, ProbeEpisodeResult::kAborted);
+  EXPECT_FALSE(f.prober.active());
+}
+
+TEST(Prober, TimeoutBackoffAndFallbackOnMarathonStalls) {
+  // A stall past 1200 s doubles the timeouts each round; once a timeout
+  // exceeds 60 s the prober reverts to the vanilla fixed-interval detection.
+  NetworkStateProber::Config config;
+  config.backoff_threshold = SimDuration::seconds(100.0);  // accelerate the test
+  Fixture f;
+  NetworkStateProber prober{f.sim, f.stack, config};
+  std::optional<NetworkStateProber::Report> report;
+  f.stack.inject_fault(NetworkFault::kNetworkStall);
+  f.sim.schedule_after(SimDuration::seconds(900.0), [&] {
+    f.stack.inject_fault(NetworkFault::kNone);
+  });
+  prober.start(SimTime::origin(),
+               [&](const NetworkStateProber::Report& r) { report = r; });
+  f.sim.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->result, ProbeEpisodeResult::kNetworkStallResolved);
+  EXPECT_TRUE(report->reverted_to_fallback);
+  // Fallback granularity: measured within one fallback interval (60 s).
+  EXPECT_GE(report->measured_duration.to_seconds(), 900.0);
+  EXPECT_LE(report->measured_duration.to_seconds(), 965.0);
+}
+
+TEST(Prober, AccountsProbeTraffic) {
+  Fixture f;
+  f.stack.set_dns_server_count(2);
+  f.start();
+  f.sim.run();
+  // One round: 1 localhost ICMP + 2 DNS-server ICMP + 2 DNS queries.
+  EXPECT_EQ(f.prober.total_probe_messages(), 5u);
+  EXPECT_GT(f.prober.total_probe_bytes(), 0u);
+}
+
+TEST(Prober, SingleDnsServerConfig) {
+  Fixture f;
+  f.stack.set_dns_server_count(1);
+  f.stack.inject_fault(NetworkFault::kDnsOutage);
+  f.start();
+  f.sim.run();
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_EQ(f.report->result, ProbeEpisodeResult::kDnsOnlyFalsePositive);
+  EXPECT_EQ(f.prober.total_probe_messages(), 3u);
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,70 @@
+#include "core/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+TraceRecord sample_record() {
+  TraceRecord r;
+  r.device = 42;
+  r.model_id = 23;
+  r.isp = IspId::kIspB;
+  r.type = FailureType::kDataStall;
+  r.at = SimTime::from_seconds(120.5);
+  r.duration = SimDuration::seconds(33.25);
+  r.duration_method = DurationMethod::kProbing;
+  r.rat = Rat::k5G;
+  r.level = SignalLevel::kLevel1;
+  r.bs = 7;
+  r.cell = CellGlobalId{460, 11, 0x2222, 99};
+  r.apn = "cmnet";
+  r.probe_rounds = 6;
+  return r;
+}
+
+TEST(Trace, CsvContainsEveryField) {
+  const std::string line = to_csv(sample_record());
+  for (const char* token : {"42", "23", "ISP-B", "Data_Stall", "120.500", "33.250",
+                            "probing", "5G", "cmnet", "460-11-8738-99", "6"}) {
+    EXPECT_NE(line.find(token), std::string::npos) << token << " missing in: " << line;
+  }
+}
+
+TEST(Trace, HeaderFieldCountMatchesRows) {
+  const std::string header = trace_csv_header();
+  const std::string line = to_csv(sample_record());
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(line));
+}
+
+TEST(Trace, FilteredFlagSerialized) {
+  TraceRecord r = sample_record();
+  r.filtered_false_positive = true;
+  EXPECT_NE(to_csv(r).find(",1,"), std::string::npos);
+}
+
+TEST(Trace, CompressedSizeIsPlausible) {
+  const TraceRecord r = sample_record();
+  const std::size_t bytes = compressed_record_bytes(r);
+  EXPECT_GE(bytes, 30u);
+  EXPECT_LT(bytes, to_csv(r).size());  // compression helps
+}
+
+TEST(Trace, CdmaCellSerializes) {
+  TraceRecord r = sample_record();
+  r.cell = CdmaCellId{13600, 12, 345};
+  EXPECT_NE(to_csv(r).find("cdma:13600-12-345"), std::string::npos);
+}
+
+TEST(Trace, DurationMethodNames) {
+  EXPECT_EQ(to_string(DurationMethod::kProbing), "probing");
+  EXPECT_EQ(to_string(DurationMethod::kAndroidFallback), "android-fallback");
+  EXPECT_EQ(to_string(DurationMethod::kStateTracking), "state-tracking");
+  EXPECT_EQ(to_string(DurationMethod::kNone), "none");
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/overhead.h"
+#include "core/uploader.h"
+
+namespace cellrel {
+namespace {
+
+TraceRecord record_with_device(DeviceId id) {
+  TraceRecord r;
+  r.device = id;
+  r.apn = "cmnet";
+  return r;
+}
+
+TEST(Uploader, BuffersUntilWifi) {
+  std::vector<TraceRecord> received;
+  TraceUploader uploader([&](std::vector<TraceRecord>&& batch) {
+    for (auto& r : batch) received.push_back(std::move(r));
+  });
+  uploader.submit(record_with_device(1));
+  uploader.submit(record_with_device(2));
+  EXPECT_EQ(uploader.buffered(), 2u);
+  EXPECT_TRUE(received.empty());
+  uploader.set_wifi_available(true);
+  EXPECT_EQ(uploader.buffered(), 0u);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0].device, 1u);
+  EXPECT_EQ(uploader.uploaded_records(), 2u);
+  EXPECT_GT(uploader.uploaded_bytes(), 0u);
+}
+
+TEST(Uploader, ImmediateUploadWhileOnWifi) {
+  int batches = 0;
+  TraceUploader uploader([&](std::vector<TraceRecord>&&) { ++batches; });
+  uploader.set_wifi_available(true);
+  uploader.submit(record_with_device(1));
+  uploader.submit(record_with_device(2));
+  EXPECT_EQ(batches, 2);
+  EXPECT_EQ(uploader.buffered(), 0u);
+}
+
+TEST(Uploader, ForcedFlushWithoutWifi) {
+  int batches = 0;
+  TraceUploader uploader([&](std::vector<TraceRecord>&&) { ++batches; });
+  uploader.submit(record_with_device(1));
+  uploader.flush();
+  EXPECT_EQ(batches, 1);
+  uploader.flush();  // empty flush is a no-op
+  EXPECT_EQ(batches, 1);
+}
+
+TEST(Overhead, DormantWithoutFailures) {
+  OverheadAccountant oh;
+  EXPECT_EQ(oh.cpu_utilization_during_failures(), 0.0);
+  EXPECT_EQ(oh.storage_bytes(), 0u);
+  EXPECT_EQ(oh.cellular_bytes(), 0u);
+}
+
+TEST(Overhead, CpuUtilizationIsBusyOverFailureTime) {
+  OverheadModel model;
+  model.cpu_per_event = SimDuration::milliseconds(2);
+  OverheadAccountant oh(model);
+  for (int i = 0; i < 10; ++i) oh.on_event_handled();  // 20 ms busy
+  oh.add_failure_duration(SimDuration::seconds(1.0));
+  EXPECT_NEAR(oh.cpu_utilization_during_failures(), 0.02, 1e-9);
+}
+
+TEST(Overhead, PaperBudgetRespectedForTypicalDevice) {
+  // §2.2: a typical failing device (~33 failures over 8 months) must stay
+  // within <2% CPU within failures, <40 KB memory, <100 KB storage, and
+  // <100 KB network per month.
+  OverheadAccountant oh;
+  for (int i = 0; i < 33; ++i) {
+    oh.on_event_handled();
+    for (int round = 0; round < 4; ++round) oh.on_probe_round();
+    oh.on_record_written(40);
+    oh.on_probe_traffic(4 * (64 * 3 + 80 * 2));
+    oh.add_failure_duration(SimDuration::seconds(188.0));
+  }
+  EXPECT_LT(oh.cpu_utilization_during_failures(), 0.02);
+  EXPECT_LT(oh.peak_memory_bytes(), 40u * 1024);
+  EXPECT_LT(oh.storage_bytes(), 100u * 1024);
+  EXPECT_LT(oh.cellular_bytes() / 8, 100u * 1024);  // per month over 8 months
+}
+
+TEST(Overhead, MemoryPeakTracksBufferedRecords) {
+  OverheadModel model;
+  model.memory_baseline = 1000;
+  model.memory_per_buffered_record = 100;
+  OverheadAccountant oh(model);
+  oh.on_record_written(40);
+  oh.on_record_written(40);
+  oh.on_record_written(40);
+  EXPECT_EQ(oh.peak_memory_bytes(), 1300u);
+  oh.on_records_uploaded(3, 90);
+  // Peak is sticky even after upload.
+  EXPECT_EQ(oh.peak_memory_bytes(), 1300u);
+  EXPECT_EQ(oh.wifi_upload_bytes(), 90u);
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "net/network_stack.h"
+#include "net/tcp_stats.h"
+#include "sim/event_queue.h"
+
+namespace cellrel {
+namespace {
+
+// --- TCP segment accounting ---
+
+TEST(TcpStats, WindowCountsAndExpiry) {
+  TcpSegmentCounters tcp{SimDuration::minutes(1)};
+  SimTime t = SimTime::origin();
+  for (int i = 0; i < 5; ++i) {
+    tcp.on_segment_sent(t);
+    t += SimDuration::seconds(10);
+  }
+  EXPECT_EQ(tcp.sent_in_window(t), 5u);
+  // 61 s after the first send it falls out of the window.
+  EXPECT_EQ(tcp.sent_in_window(SimTime::origin() + SimDuration::seconds(61)), 4u);
+  EXPECT_EQ(tcp.total_sent(), 5u);
+}
+
+TEST(TcpStats, StallPredicateMatchesAndroidRule) {
+  // ">10 outbound and not a single inbound TCP segment during the last
+  // minute" (§2.1).
+  TcpSegmentCounters tcp;
+  SimTime t = SimTime::origin();
+  for (int i = 0; i < 10; ++i) {
+    tcp.on_segment_sent(t);
+    t += SimDuration::seconds(1);
+  }
+  EXPECT_FALSE(tcp.stall_suspected(t));  // exactly 10 is not "over 10"
+  tcp.on_segment_sent(t);
+  EXPECT_TRUE(tcp.stall_suspected(t));
+  tcp.on_segment_received(t);
+  EXPECT_FALSE(tcp.stall_suspected(t));
+}
+
+TEST(TcpStats, InboundExpiryReenablesSuspicion) {
+  TcpSegmentCounters tcp;
+  SimTime t = SimTime::origin();
+  tcp.on_segment_received(t);
+  for (int i = 0; i < 30; ++i) {
+    tcp.on_segment_sent(t);
+    t += SimDuration::seconds(1);
+  }
+  // At t = 30 s the received segment is still inside the window.
+  EXPECT_FALSE(tcp.stall_suspected(t));
+  // Past 60 s, only sends remain.
+  EXPECT_TRUE(tcp.stall_suspected(SimTime::origin() + SimDuration::seconds(61)));
+}
+
+TEST(TcpStats, CustomThreshold) {
+  TcpSegmentCounters tcp;
+  SimTime t = SimTime::origin();
+  for (int i = 0; i < 4; ++i) tcp.on_segment_sent(t);
+  EXPECT_FALSE(tcp.stall_suspected(t, 4));  // "over" is strict
+  EXPECT_TRUE(tcp.stall_suspected(t, 3));
+}
+
+// --- Network stack probing semantics ---
+
+struct ProbeResult {
+  bool done = false;
+  bool answered = false;
+};
+
+ProbeResult run_probe(Simulator& sim, NetworkStack& stack,
+                      void (NetworkStack::*probe)(std::size_t, SimDuration,
+                                                  NetworkStack::ProbeCallback),
+                      SimDuration timeout) {
+  ProbeResult result;
+  (stack.*probe)(0, timeout, [&](const ProbeOutcome& o) {
+    result.done = true;
+    result.answered = o.answered;
+  });
+  sim.run();
+  return result;
+}
+
+TEST(NetworkStack, HealthyAnswersEverything) {
+  Simulator sim;
+  NetworkStack stack(sim, Rng{1});
+  bool local = false;
+  stack.icmp_localhost(SimDuration::seconds(1), [&](const ProbeOutcome& o) {
+    local = o.answered;
+  });
+  sim.run();
+  EXPECT_TRUE(local);
+  EXPECT_TRUE(run_probe(sim, stack, &NetworkStack::icmp_dns_server, SimDuration::seconds(1))
+                  .answered);
+  EXPECT_TRUE(run_probe(sim, stack, &NetworkStack::dns_query, SimDuration::seconds(5))
+                  .answered);
+}
+
+TEST(NetworkStack, NetworkStallBlocksOutboundOnly) {
+  Simulator sim;
+  NetworkStack stack(sim, Rng{2});
+  stack.inject_fault(NetworkFault::kNetworkStall);
+  bool local = false;
+  stack.icmp_localhost(SimDuration::seconds(1), [&](const ProbeOutcome& o) {
+    local = o.answered;
+  });
+  sim.run();
+  EXPECT_TRUE(local);  // loopback unaffected
+  EXPECT_FALSE(run_probe(sim, stack, &NetworkStack::icmp_dns_server, SimDuration::seconds(1))
+                   .answered);
+  EXPECT_FALSE(run_probe(sim, stack, &NetworkStack::dns_query, SimDuration::seconds(5))
+                   .answered);
+}
+
+TEST(NetworkStack, SystemSideFaultsBlockLocalhost) {
+  for (NetworkFault f : {NetworkFault::kFirewallMisconfig, NetworkFault::kProxyBroken,
+                         NetworkFault::kModemDriverWedged}) {
+    Simulator sim;
+    NetworkStack stack(sim, Rng{3});
+    stack.inject_fault(f);
+    EXPECT_TRUE(is_system_side(f));
+    bool answered = true;
+    stack.icmp_localhost(SimDuration::seconds(1), [&](const ProbeOutcome& o) {
+      answered = o.answered;
+    });
+    sim.run();
+    EXPECT_FALSE(answered) << to_string(f);
+  }
+}
+
+TEST(NetworkStack, DnsOutageKeepsIcmpWorking) {
+  Simulator sim;
+  NetworkStack stack(sim, Rng{4});
+  stack.inject_fault(NetworkFault::kDnsOutage);
+  EXPECT_FALSE(is_system_side(NetworkFault::kDnsOutage));
+  EXPECT_TRUE(run_probe(sim, stack, &NetworkStack::icmp_dns_server, SimDuration::seconds(1))
+                  .answered);
+  EXPECT_FALSE(run_probe(sim, stack, &NetworkStack::dns_query, SimDuration::seconds(5))
+                   .answered);
+}
+
+TEST(NetworkStack, TimeoutBoundsElapsedTime) {
+  Simulator sim;
+  NetworkStack stack(sim, Rng{5});
+  stack.inject_fault(NetworkFault::kNetworkStall);
+  SimDuration elapsed;
+  stack.dns_query(0, SimDuration::seconds(5), [&](const ProbeOutcome& o) {
+    elapsed = o.elapsed;
+    EXPECT_FALSE(o.answered);
+  });
+  const SimTime start = sim.now();
+  sim.run();
+  EXPECT_EQ(elapsed, SimDuration::seconds(5));
+  EXPECT_EQ(sim.now() - start, SimDuration::seconds(5));
+}
+
+TEST(NetworkStack, ProbeCounterIncrements) {
+  Simulator sim;
+  NetworkStack stack(sim, Rng{6});
+  EXPECT_EQ(stack.probes_sent(), 0u);
+  stack.icmp_localhost(SimDuration::seconds(1), [](const ProbeOutcome&) {});
+  stack.dns_query(0, SimDuration::seconds(5), [](const ProbeOutcome&) {});
+  EXPECT_EQ(stack.probes_sent(), 2u);
+  sim.run();
+}
+
+TEST(NetworkStack, FaultRecoveryRestoresService) {
+  Simulator sim;
+  NetworkStack stack(sim, Rng{7});
+  stack.inject_fault(NetworkFault::kNetworkStall);
+  stack.inject_fault(NetworkFault::kNone);
+  EXPECT_TRUE(run_probe(sim, stack, &NetworkStack::dns_query, SimDuration::seconds(5))
+                  .answered);
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,141 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cellrel {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::from_seconds(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::from_seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::from_seconds(2.0), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::from_seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_after(SimDuration::seconds(5.0), [&] {
+    sim.schedule_after(SimDuration::seconds(2.0),
+                       [&] { fired_at = sim.now().to_seconds(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(Simulator, RejectsPastAndNegative) {
+  Simulator sim;
+  sim.schedule_at(SimTime::from_seconds(10.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::from_seconds(5.0), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(SimDuration::seconds(-1.0), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  ScheduledEvent e = sim.schedule_after(SimDuration::seconds(1.0), [&] { ++fired; });
+  EXPECT_TRUE(e.pending());
+  e.cancel();
+  EXPECT_FALSE(e.pending());
+  EXPECT_EQ(sim.run(), 0u);
+  EXPECT_EQ(fired, 0);
+  // The clock still advances past cancelled entries' times only if fired;
+  // cancelled events do not advance now().
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  ScheduledEvent e = sim.schedule_after(SimDuration::seconds(1.0), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.pending());
+  e.cancel();  // must not crash or double-count
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(SimTime::from_seconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  EXPECT_EQ(sim.run_until(SimTime::from_seconds(2.5)), 2u);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.5);
+  EXPECT_EQ(sim.pending_events(), 2u);
+  EXPECT_EQ(sim.run_until(SimTime::from_seconds(10.0)), 2u);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 10.0);
+}
+
+TEST(Simulator, RunUntilInclusiveOfDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::from_seconds(2.0), [&] { ++fired; });
+  sim.run_until(SimTime::from_seconds(2.0));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StepFiresExactlyOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_after(SimDuration::seconds(1.0), [&] { ++fired; });
+  sim.schedule_after(SimDuration::seconds(2.0), [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, StepSkipsCancelled) {
+  Simulator sim;
+  int fired = 0;
+  ScheduledEvent a = sim.schedule_after(SimDuration::seconds(1.0), [&] { ++fired; });
+  sim.schedule_after(SimDuration::seconds(2.0), [&] { fired += 10; });
+  a.cancel();
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreProcessed) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(SimDuration::seconds(1.0), recurse);
+  };
+  sim.schedule_after(SimDuration::seconds(1.0), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 5.0);
+}
+
+TEST(Simulator, CancellationFromInsideEvent) {
+  Simulator sim;
+  int fired = 0;
+  ScheduledEvent later;
+  sim.schedule_after(SimDuration::seconds(1.0), [&] { later.cancel(); });
+  later = sim.schedule_after(SimDuration::seconds(2.0), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+}  // namespace
+}  // namespace cellrel

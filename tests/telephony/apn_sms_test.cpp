@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "telephony/apn.h"
+#include "telephony/sms_service.h"
+#include "telephony/telephony_manager.h"
+
+namespace cellrel {
+namespace {
+
+// --- APN management ---
+
+TEST(Apn, CarrierListsUseRealNames) {
+  EXPECT_EQ(ApnManager::for_isp(IspId::kIspA).select(ApnType::kDefault)->name, "cmnet");
+  EXPECT_EQ(ApnManager::for_isp(IspId::kIspB).select(ApnType::kDefault)->name, "ctnet");
+  EXPECT_EQ(ApnManager::for_isp(IspId::kIspC).select(ApnType::kDefault)->name, "3gnet");
+}
+
+TEST(Apn, TypeBasedSelection) {
+  const ApnManager apns = ApnManager::for_isp(IspId::kIspA);
+  EXPECT_EQ(apns.select(ApnType::kMms)->name, "cmwap");
+  EXPECT_EQ(apns.select(ApnType::kIms)->name, "ims");
+  EXPECT_EQ(apns.select(ApnType::kSupl)->name, "cmnet");
+  EXPECT_FALSE(apns.select(ApnType::kEmergency).has_value());
+}
+
+TEST(Apn, PriorityOrderWins) {
+  ApnManager apns({
+      {"low", static_cast<std::uint8_t>(ApnType::kDefault), true, 5},
+      {"high", static_cast<std::uint8_t>(ApnType::kDefault), true, 1},
+  });
+  EXPECT_EQ(apns.select(ApnType::kDefault)->name, "high");
+}
+
+TEST(Apn, RoamingRestriction) {
+  ApnManager apns({
+      {"home-only", static_cast<std::uint8_t>(ApnType::kDefault), false, 0},
+      {"roam-ok", static_cast<std::uint8_t>(ApnType::kDefault), true, 1},
+  });
+  EXPECT_EQ(apns.select(ApnType::kDefault, /*roaming=*/false)->name, "home-only");
+  EXPECT_EQ(apns.select(ApnType::kDefault, /*roaming=*/true)->name, "roam-ok");
+}
+
+TEST(Apn, TelephonyManagerUsesCarrierApn) {
+  Simulator sim;
+  TelephonyManager::Config config;
+  config.isp = IspId::kIspB;
+  TelephonyManager tm(sim, Rng{1}, config);
+  EXPECT_EQ(tm.dc_tracker().apn(), "ctnet");
+}
+
+// --- SMS service ---
+
+class SmsRecorder final : public FailureEventListener {
+ public:
+  void on_failure_event(const FailureEvent& event) override {
+    if (event.type == FailureType::kSmsSendFail) ++failures;
+  }
+  void on_failure_cleared(FailureType, SimTime) override {}
+  int failures = 0;
+};
+
+struct SmsFixture {
+  Simulator sim;
+  RadioInterfaceLayer ril{sim, Rng{3}};
+  SmsService sms{sim, ril, Rng{4}};
+  SmsRecorder recorder;
+  SmsFixture() {
+    sms.add_listener(&recorder);
+    sms.set_cell_context({7, Rat::k4G, SignalLevel::kLevel4});
+    ChannelConditions healthy;
+    healthy.level = SignalLevel::kLevel4;
+    ril.update_channel(healthy);
+  }
+};
+
+TEST(Sms, DeliversOnHealthyChannel) {
+  SmsFixture f;
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    f.sms.send([&](bool ok, int) { delivered += ok ? 1 : 0; });
+  }
+  f.sim.run();
+  EXPECT_GE(delivered, 95);  // ~2% transient per attempt, retried
+  EXPECT_EQ(f.recorder.failures, 100 - delivered);
+}
+
+TEST(Sms, ExhaustsRetriesOnDeadChannel) {
+  SmsFixture f;
+  ChannelConditions dead;
+  dead.level = SignalLevel::kLevel0;
+  dead.base_failure_prob = 1.0;
+  f.ril.update_channel(dead);
+  int attempts_seen = 0;
+  bool delivered = true;
+  f.sms.send([&](bool ok, int attempts) {
+    delivered = ok;
+    attempts_seen = attempts;
+  });
+  f.sim.run();
+  if (!delivered) {
+    EXPECT_GE(f.recorder.failures, 1);
+    EXPECT_GE(attempts_seen, 2);          // retried before giving up
+    EXPECT_LE(attempts_seen, 4);          // max_retries + 1
+    EXPECT_EQ(f.sms.messages_failed(), 1u);
+  }
+}
+
+TEST(Sms, RetriesAreSpacedInTime) {
+  SmsFixture f;
+  ChannelConditions dead;
+  dead.level = SignalLevel::kLevel2;
+  dead.base_failure_prob = 1.0;
+  dead.driver_fault = true;  // deterministic kRetry path
+  f.ril.update_channel(dead);
+  bool done = false;
+  f.sms.send([&](bool, int) { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  // 3 retries x 5 s spacing.
+  EXPECT_DOUBLE_EQ(f.sim.now().to_seconds(), 15.0);
+  EXPECT_EQ(f.recorder.failures, 1);
+}
+
+TEST(Sms, ResultNames) {
+  EXPECT_EQ(to_string(SmsResult::kRetry), "RIL_SMS_SEND_FAIL_RETRY");
+  EXPECT_EQ(to_string(SmsResult::kOk), "OK");
+}
+
+// --- Voice calls ---
+
+class VoiceRecorder final : public FailureEventListener {
+ public:
+  void on_failure_event(const FailureEvent& event) override {
+    if (event.type == FailureType::kVoiceCallDrop) ++drops;
+  }
+  void on_failure_cleared(FailureType, SimTime) override {}
+  int drops = 0;
+};
+
+TEST(Voice, CallLifecycleAndHooks) {
+  Simulator sim;
+  VoiceCallManager::Config config;
+  config.answer_probability = 1.0;
+  config.drop_probability = 0.0;
+  VoiceCallManager voice(sim, Rng{5}, config);
+  std::vector<CallState> states;
+  voice.set_call_state_hook([&](CallState s) { states.push_back(s); });
+  voice.incoming_call();
+  EXPECT_EQ(voice.state(), CallState::kRinging);
+  sim.run();
+  EXPECT_EQ(voice.state(), CallState::kIdle);
+  ASSERT_GE(states.size(), 3u);
+  EXPECT_EQ(states[0], CallState::kRinging);
+  EXPECT_EQ(states[1], CallState::kOffhook);
+  EXPECT_EQ(states.back(), CallState::kIdle);
+  EXPECT_EQ(voice.calls_completed(), 1u);
+  EXPECT_EQ(voice.calls_dropped(), 0u);
+}
+
+TEST(Voice, UnansweredCallReturnsToIdle) {
+  Simulator sim;
+  VoiceCallManager::Config config;
+  config.answer_probability = 0.0;
+  VoiceCallManager voice(sim, Rng{6}, config);
+  voice.incoming_call();
+  sim.run();
+  EXPECT_EQ(voice.state(), CallState::kIdle);
+  EXPECT_EQ(voice.calls_completed(), 0u);
+}
+
+TEST(Voice, DropRaisesFailureEvent) {
+  Simulator sim;
+  VoiceCallManager::Config config;
+  config.answer_probability = 1.0;
+  config.drop_probability = 1.0;
+  VoiceCallManager voice(sim, Rng{7}, config);
+  VoiceRecorder recorder;
+  voice.add_listener(&recorder);
+  voice.incoming_call();
+  sim.run();
+  EXPECT_EQ(recorder.drops, 1);
+  EXPECT_EQ(voice.calls_dropped(), 1u);
+}
+
+TEST(Voice, BusyLineIgnoresSecondCall) {
+  Simulator sim;
+  VoiceCallManager::Config config;
+  config.answer_probability = 1.0;
+  config.drop_probability = 0.0;
+  VoiceCallManager voice(sim, Rng{8}, config);
+  voice.incoming_call();
+  sim.run_until(SimTime::origin() + SimDuration::seconds(10.0));
+  ASSERT_EQ(voice.state(), CallState::kOffhook);
+  voice.incoming_call();  // engaged: no state change
+  EXPECT_EQ(voice.state(), CallState::kOffhook);
+  sim.run();
+}
+
+TEST(Voice, OffhookDisruptsDataViaTelephonyManager) {
+  Simulator sim;
+  TelephonyManager::Config config;
+  TelephonyManager tm(sim, Rng{9}, config);
+  ChannelConditions healthy;
+  healthy.level = SignalLevel::kLevel4;
+  tm.ril().update_channel(healthy);
+  tm.dc_tracker().request_data();
+  sim.run_until(SimTime::origin() + SimDuration::seconds(5.0));
+  ASSERT_TRUE(tm.dc_tracker().connection().is_active());
+  tm.voice().incoming_call();
+  // Once the call is answered, the data connection drops (non-DSDA).
+  sim.run_until(SimTime::origin() + SimDuration::seconds(12.0));
+  if (tm.voice().state() == CallState::kOffhook) {
+    EXPECT_NE(tm.dc_tracker().connection().state(), DcState::kActive);
+  }
+  sim.run_until(SimTime::origin() + SimDuration::minutes(30.0));
+}
+
+}  // namespace
+}  // namespace cellrel

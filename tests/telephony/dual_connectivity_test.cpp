@@ -1,0 +1,62 @@
+#include "telephony/dual_connectivity.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+CellCandidate nr_cell(BsIndex bs = 5) { return {bs, Rat::k5G, SignalLevel::kLevel3}; }
+
+TEST(DualConnectivity, DisabledByDefault) {
+  DualConnectivityManager dc;
+  EXPECT_FALSE(dc.enabled());
+  dc.update_secondary(nr_cell());
+  EXPECT_FALSE(dc.secondary().has_value());  // ignored while disabled
+  EXPECT_DOUBLE_EQ(dc.disruption_multiplier(nr_cell()), 1.0);
+}
+
+TEST(DualConnectivity, PreparedLegShortensTransition) {
+  DualConnectivityManager dc;
+  dc.set_enabled(true);
+  dc.update_secondary(nr_cell());
+  ASSERT_TRUE(dc.covers(nr_cell()));
+  const SimDuration with_leg = dc.transition_latency(nr_cell());
+  const CellCandidate other{8, Rat::k5G, SignalLevel::kLevel2};
+  const SimDuration without_leg = dc.transition_latency(other);
+  EXPECT_LT(with_leg, without_leg);
+  EXPECT_LT(dc.disruption_multiplier(nr_cell()), 1.0);
+  EXPECT_DOUBLE_EQ(dc.disruption_multiplier(other), 1.0);
+}
+
+TEST(DualConnectivity, CoverageRequiresExactCell) {
+  DualConnectivityManager dc;
+  dc.set_enabled(true);
+  dc.update_secondary(nr_cell(5));
+  EXPECT_TRUE(dc.covers(nr_cell(5)));
+  EXPECT_FALSE(dc.covers(nr_cell(6)));                               // other BS
+  EXPECT_FALSE(dc.covers({5, Rat::k4G, SignalLevel::kLevel3}));      // other RAT
+}
+
+TEST(DualConnectivity, DisablingDropsSecondary) {
+  DualConnectivityManager dc;
+  dc.set_enabled(true);
+  dc.update_secondary(nr_cell());
+  dc.set_enabled(false);
+  EXPECT_FALSE(dc.secondary().has_value());
+  EXPECT_FALSE(dc.covers(nr_cell()));
+}
+
+TEST(DualConnectivity, ConfigFactorsApply) {
+  DualConnectivityManager::Config config;
+  config.latency_factor = 0.5;
+  config.disruption_factor = 0.25;
+  config.baseline_transition_latency = SimDuration::seconds(2.0);
+  DualConnectivityManager dc(config);
+  dc.set_enabled(true);
+  dc.update_secondary(nr_cell());
+  EXPECT_EQ(dc.transition_latency(nr_cell()), SimDuration::seconds(1.0));
+  EXPECT_DOUBLE_EQ(dc.disruption_multiplier(nr_cell()), 0.25);
+}
+
+}  // namespace
+}  // namespace cellrel

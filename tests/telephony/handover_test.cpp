@@ -1,0 +1,116 @@
+#include "telephony/handover.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+namespace cellrel {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  RadioInterfaceLayer ril{sim, Rng{13}};
+  DcTracker tracker{sim, ril};
+  DualConnectivityManager dualconn;
+  HandoverController handover{sim, tracker, dualconn};
+  std::optional<HandoverReport> report;
+
+  Fixture() {
+    // Start camped and active on a 4G cell.
+    retune({1, Rat::k4G, SignalLevel::kLevel4}, false);
+    tracker.set_cell_context({1, Rat::k4G, SignalLevel::kLevel4});
+    handover.set_retune([this](const CellCandidate& cell, bool in_ho) {
+      retune(cell, in_ho);
+    });
+    tracker.request_data();
+    sim.run();
+    EXPECT_TRUE(tracker.connection().is_active());
+  }
+
+  /// The registry stand-in: target BS 2's NR cell fails when `target_bad`.
+  bool target_bad = false;
+  void retune(const CellCandidate& cell, bool in_handover) {
+    ChannelConditions cond;
+    cond.rat = cell.rat;
+    cond.level = cell.level;
+    cond.in_handover = in_handover;
+    cond.base_failure_prob = (cell.bs == 2 && target_bad) ? 1.0 : 0.0;
+    ril.update_channel(cond);
+  }
+
+  void run_handover(const CellCandidate& target) {
+    handover.start(target, [this](const HandoverReport& r) { report = r; });
+    sim.run();
+  }
+};
+
+TEST(Handover, SuccessfulTransitionSwitchesCell) {
+  Fixture f;
+  const CellCandidate target{2, Rat::k5G, SignalLevel::kLevel3};
+  f.run_handover(target);
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_TRUE(f.report->success);
+  EXPECT_EQ(f.handover.phase(), HandoverPhase::kComplete);
+  EXPECT_TRUE(f.tracker.connection().is_active());
+  EXPECT_EQ(f.tracker.cell_context().bs, 2u);
+  EXPECT_EQ(f.tracker.cell_context().rat, Rat::k5G);
+  EXPECT_EQ(f.report->setup_failures, 0u);
+  EXPECT_GT(f.report->interruption, SimDuration::zero());
+}
+
+TEST(Handover, DualConnectivityShortensInterruption) {
+  Fixture cold, warm;
+  const CellCandidate target{2, Rat::k5G, SignalLevel::kLevel3};
+  warm.dualconn.set_enabled(true);
+  warm.dualconn.update_secondary(target);
+  ASSERT_TRUE(warm.dualconn.covers(target));
+  cold.run_handover(target);
+  warm.run_handover(target);
+  ASSERT_TRUE(cold.report && warm.report);
+  EXPECT_TRUE(cold.report->success);
+  EXPECT_TRUE(warm.report->success);
+  EXPECT_LT(warm.report->interruption, cold.report->interruption);
+}
+
+TEST(Handover, FailedTargetFallsBackToSource) {
+  Fixture f;
+  f.target_bad = true;
+  const CellCandidate target{2, Rat::k5G, SignalLevel::kLevel0};
+  f.run_handover(target);
+  ASSERT_TRUE(f.report.has_value());
+  EXPECT_FALSE(f.report->success);
+  EXPECT_EQ(f.handover.phase(), HandoverPhase::kFailed);
+  EXPECT_GE(f.report->setup_failures, 1u);  // events were raised
+  // Fallback: back on the source cell.
+  EXPECT_EQ(f.tracker.cell_context().bs, 1u);
+  EXPECT_EQ(f.tracker.cell_context().rat, Rat::k4G);
+  EXPECT_EQ(f.handover.handovers_failed(), 1u);
+}
+
+TEST(Handover, FailureEventsCarryHandoverCauses) {
+  Fixture f;
+  f.target_bad = true;
+  class Recorder final : public FailureEventListener {
+   public:
+    void on_failure_event(const FailureEvent& e) override { causes.push_back(e.cause); }
+    void on_failure_cleared(FailureType, SimTime) override {}
+    std::vector<FailCause> causes;
+  } recorder;
+  f.tracker.add_listener(&recorder);
+  f.run_handover({2, Rat::k5G, SignalLevel::kLevel1});
+  ASSERT_FALSE(recorder.causes.empty());
+  // With in_handover conditions, a fraction of causes are the IRAT family;
+  // at minimum every cause must be a genuine failure code.
+  const auto& catalog = FailCauseCatalog::instance();
+  for (FailCause c : recorder.causes) {
+    EXPECT_FALSE(catalog.info(c).false_positive_correlated) << to_string(c);
+  }
+}
+
+TEST(Handover, PhaseNames) {
+  EXPECT_EQ(to_string(HandoverPhase::kMeasuring), "measuring");
+  EXPECT_EQ(to_string(HandoverPhase::kComplete), "complete");
+}
+
+}  // namespace
+}  // namespace cellrel

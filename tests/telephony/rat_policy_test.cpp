@@ -1,0 +1,159 @@
+#include "telephony/rat_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cellrel {
+namespace {
+
+CellCandidate cell(BsIndex bs, Rat rat, SignalLevel level) { return {bs, rat, level}; }
+
+TEST(RiskTable, ShapesMatchFigures15And16) {
+  const RatLevelRiskTable& t = default_risk_table();
+  for (Rat rat : kAllRats) {
+    // Levels 0..4: monotone decreasing risk (Fig. 15).
+    for (std::size_t l = 1; l <= 4; ++l) {
+      EXPECT_LT(t.at(rat, signal_level_from_index(l)),
+                t.at(rat, signal_level_from_index(l - 1)))
+          << to_string(rat) << " level " << l;
+    }
+    // Level-5 anomaly: above every level 1..4 but below level 0.
+    const double l5 = t.at(rat, SignalLevel::kLevel5);
+    for (std::size_t l = 1; l <= 4; ++l) {
+      EXPECT_GT(l5, t.at(rat, signal_level_from_index(l)));
+    }
+    EXPECT_LT(l5, t.at(rat, SignalLevel::kLevel0));
+  }
+  // Fig. 16: 5G riskier than 4G at equal levels.
+  for (SignalLevel l : kAllSignalLevels) {
+    EXPECT_GT(t.at(Rat::k5G, l), t.at(Rat::k4G, l));
+  }
+  // The Fig. 17f headline cell: 4G level-4 -> 5G level-0 increase ~ 0.37.
+  EXPECT_NEAR(t.at(Rat::k5G, SignalLevel::kLevel0) - t.at(Rat::k4G, SignalLevel::kLevel4),
+              0.37, 1e-9);
+}
+
+TEST(DataRate, ScalesWithRatAndLevel) {
+  EXPECT_GT(nominal_data_rate_mbps(Rat::k5G, SignalLevel::kLevel5),
+            nominal_data_rate_mbps(Rat::k4G, SignalLevel::kLevel5));
+  EXPECT_GT(nominal_data_rate_mbps(Rat::k4G, SignalLevel::kLevel4),
+            nominal_data_rate_mbps(Rat::k4G, SignalLevel::kLevel1));
+  // Level-0 5G can "hardly provide a high data rate" (§4.2): below a good 4G.
+  EXPECT_LT(nominal_data_rate_mbps(Rat::k5G, SignalLevel::kLevel0),
+            nominal_data_rate_mbps(Rat::k4G, SignalLevel::kLevel3));
+}
+
+TEST(Android9Policy, NeverSelects5G) {
+  Android9Policy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k5G, SignalLevel::kLevel5),
+      cell(2, Rat::k4G, SignalLevel::kLevel2),
+      cell(3, Rat::k3G, SignalLevel::kLevel4),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->rat, Rat::k4G);
+}
+
+TEST(Android9Policy, PrefersNewerRatThenLevel) {
+  Android9Policy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k2G, SignalLevel::kLevel5),
+      cell(2, Rat::k3G, SignalLevel::kLevel1),
+      cell(3, Rat::k3G, SignalLevel::kLevel3),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->bs, 3u);
+}
+
+TEST(Android9Policy, OnlyNrAvailableYieldsNothing) {
+  Android9Policy policy;
+  const std::vector<CellCandidate> candidates = {cell(1, Rat::k5G, SignalLevel::kLevel4)};
+  EXPECT_FALSE(policy.choose(candidates, std::nullopt).has_value());
+}
+
+TEST(Android10Policy, BlindlyPrefers5GEvenAtLevel0) {
+  // The exact behaviour §3.2 criticizes: 5G level-0 beats 4G level-4.
+  Android10Policy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k4G, SignalLevel::kLevel4),
+      cell(2, Rat::k5G, SignalLevel::kLevel0),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->rat, Rat::k5G);
+  EXPECT_EQ(chosen->level, SignalLevel::kLevel0);
+}
+
+TEST(Android10Policy, FallsBackToBestLteWithoutNr) {
+  Android10Policy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k4G, SignalLevel::kLevel2),
+      cell(2, Rat::k4G, SignalLevel::kLevel4),
+      cell(3, Rat::k2G, SignalLevel::kLevel5),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->bs, 2u);
+}
+
+TEST(StabilityPolicy, RefusesLevel0TargetWhenAlternativeExists) {
+  StabilityCompatiblePolicy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k5G, SignalLevel::kLevel0),
+      cell(2, Rat::k4G, SignalLevel::kLevel4),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->rat, Rat::k4G);
+}
+
+TEST(StabilityPolicy, AcceptsStrong5G) {
+  StabilityCompatiblePolicy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k5G, SignalLevel::kLevel4),
+      cell(2, Rat::k4G, SignalLevel::kLevel4),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->rat, Rat::k5G);  // no data-rate sacrifice (§4.2)
+}
+
+TEST(StabilityPolicy, Level0OnlyCandidatesStillServe) {
+  StabilityCompatiblePolicy policy;
+  const std::vector<CellCandidate> candidates = {
+      cell(1, Rat::k4G, SignalLevel::kLevel0),
+  };
+  const auto chosen = policy.choose(candidates, std::nullopt);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->bs, 1u);
+}
+
+TEST(StabilityPolicy, HysteresisAvoidsPingPong) {
+  StabilityCompatiblePolicy policy;
+  const CellCandidate current = cell(1, Rat::k4G, SignalLevel::kLevel3);
+  // A marginally better alternative should not trigger a transition.
+  const std::vector<CellCandidate> candidates = {
+      current,
+      cell(2, Rat::k4G, SignalLevel::kLevel3),
+  };
+  const auto chosen = policy.choose(candidates, current);
+  ASSERT_TRUE(chosen.has_value());
+  EXPECT_EQ(chosen->bs, current.bs);
+}
+
+TEST(StabilityPolicy, EmptyCandidatesYieldNothing) {
+  StabilityCompatiblePolicy policy;
+  EXPECT_FALSE(policy.choose({}, std::nullopt).has_value());
+}
+
+TEST(PolicyFactory, MatchesAndroidVersion) {
+  EXPECT_EQ(make_policy_for_android(9)->name(), "android9");
+  EXPECT_EQ(make_policy_for_android(10)->name(), "android10-aggressive-5g");
+  EXPECT_EQ(make_policy_for_android(11)->name(), "android10-aggressive-5g");
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "timp/annealing.h"
+#include "timp/recovery_optimizer.h"
+#include "timp/timp_model.h"
+#include "workload/calibration.h"
+
+namespace cellrel {
+namespace {
+
+AutoRecoveryCurve paper_curve() {
+  return AutoRecoveryCurve{default_calibration().stall_auto_recovery_cdf};
+}
+
+TEST(AutoRecoveryCurve, AnalyticAnchors) {
+  const auto curve = paper_curve();
+  EXPECT_NEAR(curve.cdf(10.0), 0.60, 1e-9);  // Fig. 10: 60% within 10 s
+  EXPECT_NEAR(curve.cdf(300.0), 0.88, 1e-9);
+  EXPECT_DOUBLE_EQ(curve.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.cdf(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(curve.max_duration(), 91'770.0);
+}
+
+TEST(AutoRecoveryCurve, EmpiricalFromDurations) {
+  const std::vector<double> durations = {5, 5, 5, 10, 20, 40, 80, 160, 320, 640};
+  const auto curve = AutoRecoveryCurve::from_durations(durations);
+  EXPECT_DOUBLE_EQ(curve.cdf(5.0), 0.3);
+  EXPECT_DOUBLE_EQ(curve.cdf(15.0), 0.4);
+  EXPECT_DOUBLE_EQ(curve.cdf(640.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.max_duration(), 640.0);
+  EXPECT_THROW(AutoRecoveryCurve::from_durations({}), std::invalid_argument);
+}
+
+TEST(TimpModel, RecoveryProbabilityBoundsAndMonotonicity) {
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  for (int state = 0; state <= 3; ++state) {
+    double prev = -1.0;
+    for (double t = 10.0; t < 2000.0; t *= 1.5) {
+      const double p = model.recovery_probability(state, 10.0, t);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      EXPECT_GE(p, prev) << "state " << state << " t " << t;
+      prev = p;
+    }
+  }
+}
+
+TEST(TimpModel, StageEffectivenessLiftsProbability) {
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  // Once an executed operation has settled (a few tau), the recovery
+  // probability far exceeds pure auto-recovery, ordered by effectiveness.
+  const double p0 = model.recovery_probability(0, 60.0, 100.0);
+  const double p1 = model.recovery_probability(1, 60.0, 100.0);
+  const double p3 = model.recovery_probability(3, 60.0, 100.0);
+  EXPECT_GT(p1, p0 + 0.3);  // stage 1: 75% effective
+  EXPECT_GT(p3, p1);        // stage 3: 99% effective
+  EXPECT_GT(p3, 0.90);
+}
+
+TEST(TimpModel, OperationSettlingDelaysEffect) {
+  // Right after execution the fix has not settled: P is low, then climbs.
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  const double p_early = model.recovery_probability(1, 60.0, 61.0);
+  const double p_late = model.recovery_probability(1, 60.0, 120.0);
+  EXPECT_LT(p_early, 0.3);
+  EXPECT_GT(p_late, p_early + 0.4);
+}
+
+TEST(TimpModel, Eq1VanillaNearPaper38Seconds) {
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  const double t_vanilla = model.expected_recovery_time({60.0, 60.0, 60.0});
+  // The paper reports 38 s for the vanilla schedule under Eq. 1; our
+  // calibrated curve lands in the same band.
+  EXPECT_GT(t_vanilla, 20.0);
+  EXPECT_LT(t_vanilla, 50.0);
+}
+
+TEST(TimpModel, Eq1RejectsNonPositiveProbations) {
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  EXPECT_THROW(model.expected_recovery_time({0.0, 10.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW(model.expected_recovery_time({10.0, -1.0, 10.0}), std::invalid_argument);
+}
+
+TEST(TimpModel, PaperOptimumBeatsVanilla) {
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  const double t_vanilla = model.expected_recovery_time({60.0, 60.0, 60.0});
+  const double t_paper = model.expected_recovery_time({21.0, 6.0, 16.0});
+  EXPECT_LT(t_paper, t_vanilla);
+}
+
+TEST(Annealing, FindsQuadraticMinimum) {
+  AnnealingConfig<2> config;
+  config.lower = {-10.0, -10.0};
+  config.upper = {10.0, 10.0};
+  config.initial = {9.0, -9.0};
+  const auto result = anneal<2>(
+      config,
+      [](const std::array<double, 2>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + (x[1] + 2.0) * (x[1] + 2.0);
+      },
+      Rng{1});
+  EXPECT_NEAR(result.best[0], 3.0, 0.05);
+  EXPECT_NEAR(result.best[1], -2.0, 0.05);
+  EXPECT_LT(result.best_value, 0.01);
+  EXPECT_GT(result.evaluations, 100u);
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  AnnealingConfig<1> config;
+  config.lower = {0.0};
+  config.upper = {100.0};
+  config.initial = {50.0};
+  const auto objective = [](const std::array<double, 1>& x) {
+    return std::cos(x[0] / 5.0) + x[0] * 0.01;
+  };
+  const auto a = anneal<1>(config, objective, Rng{7});
+  const auto b = anneal<1>(config, objective, Rng{7});
+  EXPECT_EQ(a.best[0], b.best[0]);
+  EXPECT_EQ(a.best_value, b.best_value);
+}
+
+TEST(Annealing, RespectsBounds) {
+  AnnealingConfig<1> config;
+  config.lower = {2.0};
+  config.upper = {5.0};
+  config.initial = {3.0};
+  // Unbounded minimum at x = 0; must clamp at the lower bound.
+  const auto result =
+      anneal<1>(config, [](const std::array<double, 1>& x) { return x[0]; }, Rng{2});
+  EXPECT_DOUBLE_EQ(result.best[0], 2.0);
+}
+
+TEST(RecoveryOptimizer, ReproducesPaperShape) {
+  // The headline §4.2 result: optimized probations are all far below one
+  // minute (paper: {21, 6, 16} s) and T_recovery drops from ~38 s to ~28 s.
+  TimpModel model(paper_curve(), TimpModel::Params{});
+  RecoveryOptimizer optimizer(std::move(model));
+  const OptimizedRecovery result = optimizer.optimize();
+
+  for (double pro : result.probations_s) {
+    EXPECT_GE(pro, 1.0);
+    EXPECT_LT(pro, 60.0) << "probation not shorter than one minute";
+  }
+  EXPECT_LT(result.expected_recovery_s, result.vanilla_expected_recovery_s);
+  const double reduction =
+      1.0 - result.expected_recovery_s / result.vanilla_expected_recovery_s;
+  // Paper: 27.8 s vs 38 s => ~27% reduction. Accept a generous band.
+  EXPECT_GT(reduction, 0.10);
+  EXPECT_LT(reduction, 0.70);
+  // The paper's optimum is V-shaped: Pro_0 (21 s) > Pro_1 (6 s).
+  EXPECT_GT(result.probations_s[0], result.probations_s[1]);
+}
+
+TEST(RecoveryOptimizer, ScheduleConversion) {
+  OptimizedRecovery opt;
+  opt.probations_s = {21.0, 6.0, 16.0};
+  const ProbationSchedule schedule = RecoveryOptimizer::to_schedule(opt);
+  EXPECT_EQ(schedule.probation[0], SimDuration::seconds(21.0));
+  EXPECT_EQ(schedule.probation[1], SimDuration::seconds(6.0));
+  EXPECT_EQ(schedule.probation[2], SimDuration::seconds(16.0));
+  EXPECT_EQ(schedule.name, "timp-optimized");
+}
+
+TEST(RecoveryOptimizer, EmpiricalCurveFromCampaignDurations) {
+  // The optimizer also accepts an empirical curve built from measured stall
+  // durations, the route the paper actually used.
+  Rng rng(3);
+  std::vector<double> durations;
+  const auto& cdf = default_calibration().stall_auto_recovery_cdf;
+  for (int i = 0; i < 20'000; ++i) durations.push_back(cdf.sample(rng));
+  TimpModel model(AutoRecoveryCurve::from_durations(durations), TimpModel::Params{});
+  RecoveryOptimizer optimizer(std::move(model));
+  const OptimizedRecovery result = optimizer.optimize();
+  EXPECT_LT(result.expected_recovery_s, result.vanilla_expected_recovery_s);
+  for (double pro : result.probations_s) EXPECT_LT(pro, 60.0);
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,98 @@
+#include "workload/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "device/phone_model.h"
+#include "telephony/events.h"
+#include "workload/scenario.h"
+
+namespace cellrel {
+namespace {
+
+TEST(Calibration, StallCdfHonorsPaperAnchors) {
+  const Calibration& cal = default_calibration();
+  // Fig. 10: 60% of stalls auto-fix within 10 s; max duration 91,770 s.
+  EXPECT_NEAR(cal.stall_auto_recovery_cdf.cdf(10.0), 0.60, 1e-9);
+  EXPECT_DOUBLE_EQ(cal.stall_auto_recovery_cdf.cdf(91'770.0), 1.0);
+  EXPECT_DOUBLE_EQ(cal.max_failure_duration_s, 91'770.0);
+}
+
+TEST(Calibration, TypeWeightsMatchPaperMix) {
+  const auto& w = default_calibration().type_event_weights;
+  // §3.1: 16 setup / 14 stall / 3 OOS, <1% legacy tail.
+  EXPECT_DOUBLE_EQ(w[index_of(FailureType::kDataSetupError)], 16.0);
+  EXPECT_DOUBLE_EQ(w[index_of(FailureType::kDataStall)], 14.0);
+  EXPECT_DOUBLE_EQ(w[index_of(FailureType::kOutOfService)], 3.0);
+  const double legacy = w[index_of(FailureType::kSmsSendFail)] +
+                        w[index_of(FailureType::kVoiceCallDrop)];
+  EXPECT_LT(legacy / (16.0 + 14.0 + 3.0 + legacy), 0.01);
+}
+
+TEST(Calibration, IspFactorsAreSubscriberNeutral) {
+  const Calibration& cal = default_calibration();
+  double prevalence_mean = 0.0, frequency_mean = 0.0, share = 0.0;
+  for (IspId isp : kAllIsps) {
+    const double s = isp_profile(isp).subscriber_share;
+    share += s;
+    prevalence_mean += s * cal.isp_prevalence_factor[index_of(isp)];
+    frequency_mean += s * cal.isp_frequency_factor[index_of(isp)];
+  }
+  // Subscriber-weighted means near 1 so per-model Table 1 targets survive
+  // the per-ISP adjustment.
+  EXPECT_NEAR(prevalence_mean / share, 1.0, 0.08);
+  EXPECT_NEAR(frequency_mean / share, 1.0, 0.08);
+}
+
+TEST(Calibration, StageEffectivenessMatchesParagraph32) {
+  const auto& e = default_calibration().stage_effectiveness;
+  EXPECT_DOUBLE_EQ(e[0], 0.75);  // "fix the problem in 75% cases"
+  EXPECT_LT(e[0], e[1]);
+  EXPECT_LT(e[1], e[2]);
+}
+
+TEST(Calibration, StallClassesPartitionProbability) {
+  const Calibration& cal = default_calibration();
+  EXPECT_GT(cal.stall_hard_fraction, 0.0);
+  EXPECT_GT(cal.stall_unrecoverable_fraction, 0.0);
+  EXPECT_LT(cal.stall_hard_fraction + cal.stall_unrecoverable_fraction, 0.5);
+  EXPECT_LT(cal.stall_hard_factor_lo, cal.stall_hard_factor_hi);
+  EXPECT_LT(cal.stall_hard_factor_hi, 1.0);
+}
+
+TEST(Calibration, RiskTableIsTheSharedDefault) {
+  EXPECT_EQ(default_calibration().risk_table, &default_risk_table());
+}
+
+TEST(Scenario, DefaultsMatchStudySetup) {
+  const Scenario sc;
+  EXPECT_DOUBLE_EQ(sc.campaign_days, 240.0);  // Jan-Aug 2020
+  EXPECT_EQ(sc.policy, PolicyVariant::kStock);
+  EXPECT_EQ(sc.recovery, RecoveryVariant::kVanilla);
+  EXPECT_TRUE(sc.monitor_probing);
+  // The default TIMP schedule ships the paper's numbers.
+  EXPECT_EQ(sc.timp_schedule.probation[0], SimDuration::seconds(21.0));
+  EXPECT_EQ(sc.timp_schedule.probation[1], SimDuration::seconds(6.0));
+  EXPECT_EQ(sc.timp_schedule.probation[2], SimDuration::seconds(16.0));
+}
+
+TEST(Scenario, VariantNames) {
+  EXPECT_EQ(to_string(PolicyVariant::kStock), "stock");
+  EXPECT_EQ(to_string(PolicyVariant::kStabilityCompatible), "stability-compatible");
+  EXPECT_EQ(to_string(RecoveryVariant::kVanilla), "vanilla-60s");
+  EXPECT_EQ(to_string(RecoveryVariant::kTimpOptimized), "timp-optimized");
+}
+
+TEST(DeploymentDefaults, MatchPaperSection33) {
+  const DeploymentConfig config;
+  EXPECT_DOUBLE_EQ(config.frac_2g, 0.234);
+  EXPECT_DOUBLE_EQ(config.frac_3g, 0.102);
+  EXPECT_DOUBLE_EQ(config.frac_4g, 0.652);
+  EXPECT_DOUBLE_EQ(config.frac_5g, 0.073);
+  const double location_total = config.frac_dense_urban + config.frac_urban +
+                                config.frac_suburban + config.frac_rural +
+                                config.frac_transport_hub + config.frac_remote;
+  EXPECT_NEAR(location_total, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cellrel

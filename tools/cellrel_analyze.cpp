@@ -1,0 +1,100 @@
+// cellrel_analyze — offline analysis of an exported dataset directory.
+//
+// Loads the CSVs written by `cellrel_campaign --out DIR` and prints the §3
+// analysis: headline statistics, device slices, ISP/BS landscape, error
+// codes, signal levels, and RAT transition matrices.
+//
+// Usage: cellrel_analyze DIR [--figures] [--report OUT.md]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "analysis/aggregate.h"
+#include "analysis/csv_io.h"
+#include "analysis/full_report.h"
+#include "analysis/report.h"
+
+using namespace cellrel;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s DATASET_DIR [--figures] [--report OUT.md]\n", argv[0]);
+    return 2;
+  }
+  bool figures = false;
+  const char* report_path = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--figures") == 0) {
+      figures = true;
+    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+      report_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  TraceDataset dataset;
+  try {
+    dataset = read_dataset_csv(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::printf("loaded %zu records, %zu devices, %zu base stations\n\n",
+              dataset.records.size(), dataset.devices.size(),
+              dataset.base_stations.size());
+
+  const Aggregator agg(dataset);
+  const auto overall = agg.overall();
+  std::printf("prevalence %.1f%% | frequency %.1f | kept failures %llu\n",
+              overall.prevalence() * 100.0, overall.frequency(),
+              static_cast<unsigned long long>(overall.failures));
+
+  const SampleSet durations = agg.durations_all();
+  const auto share = agg.duration_share_by_type();
+  std::printf("duration: mean %.0f s, median %.1f s, <30 s %.1f%%, stall share %.1f%%\n\n",
+              durations.mean(), durations.median(), durations.fraction_below(30.0) * 100.0,
+              share[index_of(FailureType::kDataStall)] * 100.0);
+
+  TextTable isps({"ISP", "devices", "prevalence", "frequency"});
+  const auto by_isp = agg.by_isp();
+  for (IspId isp : kAllIsps) {
+    const auto& pf = by_isp[index_of(isp)];
+    isps.add_row({std::string(to_string(isp)), std::to_string(pf.devices),
+                  TextTable::percent(pf.prevalence()), TextTable::num(pf.frequency(), 1)});
+  }
+  std::fputs(isps.render().c_str(), stdout);
+
+  std::printf("\ntop Data_Setup_Error codes:\n");
+  for (const auto& code : agg.top_error_codes(10)) {
+    std::printf("  %-32s %5.1f%%\n", std::string(to_string(code.cause)).c_str(),
+                code.percent);
+  }
+
+  const auto norm = agg.normalized_prevalence_by_level();
+  std::printf("\nnormalized prevalence by level:");
+  for (std::size_t l = 0; l < kSignalLevelCount; ++l) std::printf(" L%zu=%.3f", l, norm[l]);
+  std::printf("\n");
+  const auto fit = agg.bs_zipf_fit();
+  std::printf("BS Zipf fit: a=%.2f r2=%.2f\n", fit.a, fit.r_squared);
+
+  if (figures) {
+    std::printf("\nduration CDF:\n%s", render_cdf(durations, default_cdf_quantiles()).c_str());
+    std::printf("\n4G->5G transition increases:\n%s",
+                render_transition_matrix(agg.transition_increase(Rat::k4G, Rat::k5G),
+                                         "4G level-i -> 5G level-j").c_str());
+  }
+
+  if (report_path) {
+    std::ofstream out(report_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", report_path);
+      return 1;
+    }
+    out << render_full_report(dataset);
+    std::printf("\nfull report written to %s\n", report_path);
+  }
+  return 0;
+}

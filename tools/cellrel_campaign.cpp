@@ -1,0 +1,130 @@
+// cellrel_campaign — the command-line campaign runner.
+//
+// Runs a measurement (or enhancement) campaign, prints the headline report,
+// and optionally exports the backend dataset as CSV for offline analysis
+// with cellrel_analyze.
+//
+// Usage:
+//   cellrel_campaign [--devices N] [--bs N] [--days D] [--seed S]
+//                    [--policy stock|stability] [--recovery vanilla|timp]
+//                    [--no-probing] [--no-dualconn] [--out DIR] [--quiet]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/aggregate.h"
+#include "analysis/csv_io.h"
+#include "analysis/report.h"
+#include "workload/campaign.h"
+
+using namespace cellrel;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--devices N] [--bs N] [--days D] [--seed S]\n"
+               "          [--policy stock|stability] [--recovery vanilla|timp]\n"
+               "          [--no-probing] [--no-dualconn] [--out DIR] [--quiet]\n",
+               argv0);
+  std::exit(2);
+}
+
+void print_report(const CampaignResult& result) {
+  const Aggregator agg(result.dataset);
+  const auto overall = agg.overall();
+  const SampleSet durations = agg.durations_all();
+  const auto share = agg.duration_share_by_type();
+  std::printf("devices %llu | failing %llu (%.1f%%) | kept failures %llu | "
+              "mean duration %.0f s | stall share %.1f%%\n",
+              static_cast<unsigned long long>(overall.devices),
+              static_cast<unsigned long long>(overall.failing_devices),
+              overall.prevalence() * 100.0,
+              static_cast<unsigned long long>(overall.failures), durations.mean(),
+              share[index_of(FailureType::kDataStall)] * 100.0);
+  std::printf("filter precision %.3f recall %.3f | simulated events %llu | episodes %llu\n",
+              agg.filter_score().precision(), agg.filter_score().recall(),
+              static_cast<unsigned long long>(result.simulated_events),
+              static_cast<unsigned long long>(result.episodes_run));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Scenario sc;
+  sc.name = "cli";
+  sc.device_count = 4000;
+  sc.deployment.bs_count = 8000;
+  std::string out_dir;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--devices") {
+      sc.device_count = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--bs") {
+      sc.deployment.bs_count = static_cast<std::uint32_t>(std::atoi(next()));
+    } else if (arg == "--days") {
+      sc.campaign_days = std::atof(next());
+    } else if (arg == "--seed") {
+      sc.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--policy") {
+      const std::string v = next();
+      if (v == "stock") {
+        sc.policy = PolicyVariant::kStock;
+      } else if (v == "stability") {
+        sc.policy = PolicyVariant::kStabilityCompatible;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--recovery") {
+      const std::string v = next();
+      if (v == "vanilla") {
+        sc.recovery = RecoveryVariant::kVanilla;
+      } else if (v == "timp") {
+        sc.recovery = RecoveryVariant::kTimpOptimized;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--no-probing") {
+      sc.monitor_probing = false;
+    } else if (arg == "--no-dualconn") {
+      sc.dual_connectivity = false;
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  if (!quiet) {
+    std::printf("campaign: %u devices, %u BSes, %.0f days, seed %llu, policy=%s, "
+                "recovery=%s, probing=%s\n",
+                sc.device_count, sc.deployment.bs_count, sc.campaign_days,
+                static_cast<unsigned long long>(sc.seed),
+                std::string(to_string(sc.policy)).c_str(),
+                std::string(to_string(sc.recovery)).c_str(),
+                sc.monitor_probing ? "on" : "off");
+  }
+  Campaign campaign(sc);
+  const CampaignResult result = campaign.run();
+  if (!quiet) print_report(result);
+
+  if (!out_dir.empty()) {
+    write_dataset_csv(result.dataset, out_dir);
+    if (!quiet) {
+      std::printf("dataset written to %s (%zu records, %zu devices, %zu BSes)\n",
+                  out_dir.c_str(), result.dataset.records.size(),
+                  result.dataset.devices.size(), result.dataset.base_stations.size());
+    }
+  }
+  return 0;
+}
