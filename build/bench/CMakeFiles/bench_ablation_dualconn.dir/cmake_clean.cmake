@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dualconn.dir/bench_ablation_dualconn.cpp.o"
+  "CMakeFiles/bench_ablation_dualconn.dir/bench_ablation_dualconn.cpp.o.d"
+  "bench_ablation_dualconn"
+  "bench_ablation_dualconn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dualconn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probation.dir/bench_ablation_probation.cpp.o"
+  "CMakeFiles/bench_ablation_probation.dir/bench_ablation_probation.cpp.o.d"
+  "bench_ablation_probation"
+  "bench_ablation_probation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

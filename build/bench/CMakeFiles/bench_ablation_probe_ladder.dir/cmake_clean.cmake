@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_probe_ladder.dir/bench_ablation_probe_ladder.cpp.o"
+  "CMakeFiles/bench_ablation_probe_ladder.dir/bench_ablation_probe_ladder.cpp.o.d"
+  "bench_ablation_probe_ladder"
+  "bench_ablation_probe_ladder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_probe_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

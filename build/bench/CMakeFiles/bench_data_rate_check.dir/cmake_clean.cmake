@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_rate_check.dir/bench_data_rate_check.cpp.o"
+  "CMakeFiles/bench_data_rate_check.dir/bench_data_rate_check.cpp.o.d"
+  "bench_data_rate_check"
+  "bench_data_rate_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_rate_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stall_autofix.dir/bench_fig10_stall_autofix.cpp.o"
+  "CMakeFiles/bench_fig10_stall_autofix.dir/bench_fig10_stall_autofix.cpp.o.d"
+  "bench_fig10_stall_autofix"
+  "bench_fig10_stall_autofix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stall_autofix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

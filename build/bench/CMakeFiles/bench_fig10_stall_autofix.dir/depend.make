@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_stall_autofix.
+# This may be replaced when dependencies are built.

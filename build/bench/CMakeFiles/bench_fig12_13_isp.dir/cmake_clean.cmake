@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_isp.dir/bench_fig12_13_isp.cpp.o"
+  "CMakeFiles/bench_fig12_13_isp.dir/bench_fig12_13_isp.cpp.o.d"
+  "bench_fig12_13_isp"
+  "bench_fig12_13_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

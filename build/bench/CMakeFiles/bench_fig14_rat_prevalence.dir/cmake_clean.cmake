@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_rat_prevalence.dir/bench_fig14_rat_prevalence.cpp.o"
+  "CMakeFiles/bench_fig14_rat_prevalence.dir/bench_fig14_rat_prevalence.cpp.o.d"
+  "bench_fig14_rat_prevalence"
+  "bench_fig14_rat_prevalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_rat_prevalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig15_signal_level.cpp" "bench/CMakeFiles/bench_fig15_signal_level.dir/bench_fig15_signal_level.cpp.o" "gcc" "bench/CMakeFiles/bench_fig15_signal_level.dir/bench_fig15_signal_level.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cellrel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cellrel_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/timp/CMakeFiles/cellrel_timp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cellrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cellrel_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/telephony/CMakeFiles/cellrel_telephony.dir/DependInfo.cmake"
+  "/root/repo/build/src/bs/CMakeFiles/cellrel_bs.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellrel_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cellrel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

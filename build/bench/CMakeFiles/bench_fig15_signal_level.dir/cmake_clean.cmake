@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_signal_level.dir/bench_fig15_signal_level.cpp.o"
+  "CMakeFiles/bench_fig15_signal_level.dir/bench_fig15_signal_level.cpp.o.d"
+  "bench_fig15_signal_level"
+  "bench_fig15_signal_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_signal_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

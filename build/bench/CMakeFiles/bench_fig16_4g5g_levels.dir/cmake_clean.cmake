@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_4g5g_levels.dir/bench_fig16_4g5g_levels.cpp.o"
+  "CMakeFiles/bench_fig16_4g5g_levels.dir/bench_fig16_4g5g_levels.cpp.o.d"
+  "bench_fig16_4g5g_levels"
+  "bench_fig16_4g5g_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_4g5g_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

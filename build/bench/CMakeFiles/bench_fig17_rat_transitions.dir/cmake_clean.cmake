@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_rat_transitions.dir/bench_fig17_rat_transitions.cpp.o"
+  "CMakeFiles/bench_fig17_rat_transitions.dir/bench_fig17_rat_transitions.cpp.o.d"
+  "bench_fig17_rat_transitions"
+  "bench_fig17_rat_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_rat_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_20_rat_policy.dir/bench_fig19_20_rat_policy.cpp.o"
+  "CMakeFiles/bench_fig19_20_rat_policy.dir/bench_fig19_20_rat_policy.cpp.o.d"
+  "bench_fig19_20_rat_policy"
+  "bench_fig19_20_rat_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_20_rat_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

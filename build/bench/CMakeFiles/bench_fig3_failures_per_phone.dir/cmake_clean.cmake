@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_failures_per_phone.dir/bench_fig3_failures_per_phone.cpp.o"
+  "CMakeFiles/bench_fig3_failures_per_phone.dir/bench_fig3_failures_per_phone.cpp.o.d"
+  "bench_fig3_failures_per_phone"
+  "bench_fig3_failures_per_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_failures_per_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_frequency_by_model.dir/bench_fig5_frequency_by_model.cpp.o"
+  "CMakeFiles/bench_fig5_frequency_by_model.dir/bench_fig5_frequency_by_model.cpp.o.d"
+  "bench_fig5_frequency_by_model"
+  "bench_fig5_frequency_by_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_frequency_by_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

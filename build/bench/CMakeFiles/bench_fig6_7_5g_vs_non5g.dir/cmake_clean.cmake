@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_5g_vs_non5g.dir/bench_fig6_7_5g_vs_non5g.cpp.o"
+  "CMakeFiles/bench_fig6_7_5g_vs_non5g.dir/bench_fig6_7_5g_vs_non5g.cpp.o.d"
+  "bench_fig6_7_5g_vs_non5g"
+  "bench_fig6_7_5g_vs_non5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_5g_vs_non5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_7_5g_vs_non5g.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_android_version.dir/bench_fig8_9_android_version.cpp.o"
+  "CMakeFiles/bench_fig8_9_android_version.dir/bench_fig8_9_android_version.cpp.o.d"
+  "bench_fig8_9_android_version"
+  "bench_fig8_9_android_version.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_android_version.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

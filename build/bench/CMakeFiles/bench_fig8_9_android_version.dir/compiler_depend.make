@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_9_android_version.
+# This may be replaced when dependencies are built.

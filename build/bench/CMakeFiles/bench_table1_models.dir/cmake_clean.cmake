@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_models.dir/bench_table1_models.cpp.o"
+  "CMakeFiles/bench_table1_models.dir/bench_table1_models.cpp.o.d"
+  "bench_table1_models"
+  "bench_table1_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

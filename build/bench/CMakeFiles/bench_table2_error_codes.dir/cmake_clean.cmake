@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_error_codes.dir/bench_table2_error_codes.cpp.o"
+  "CMakeFiles/bench_table2_error_codes.dir/bench_table2_error_codes.cpp.o.d"
+  "bench_table2_error_codes"
+  "bench_table2_error_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_error_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

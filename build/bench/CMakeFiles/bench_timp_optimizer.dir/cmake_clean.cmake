@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timp_optimizer.dir/bench_timp_optimizer.cpp.o"
+  "CMakeFiles/bench_timp_optimizer.dir/bench_timp_optimizer.cpp.o.d"
+  "bench_timp_optimizer"
+  "bench_timp_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timp_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datastall_recovery.dir/datastall_recovery.cpp.o"
+  "CMakeFiles/datastall_recovery.dir/datastall_recovery.cpp.o.d"
+  "datastall_recovery"
+  "datastall_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datastall_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

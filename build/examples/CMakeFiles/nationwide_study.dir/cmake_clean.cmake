@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nationwide_study.dir/nationwide_study.cpp.o"
+  "CMakeFiles/nationwide_study.dir/nationwide_study.cpp.o.d"
+  "nationwide_study"
+  "nationwide_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nationwide_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

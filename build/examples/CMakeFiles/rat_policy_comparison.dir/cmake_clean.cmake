@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rat_policy_comparison.dir/rat_policy_comparison.cpp.o"
+  "CMakeFiles/rat_policy_comparison.dir/rat_policy_comparison.cpp.o.d"
+  "rat_policy_comparison"
+  "rat_policy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rat_policy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_hub.dir/transport_hub.cpp.o"
+  "CMakeFiles/transport_hub.dir/transport_hub.cpp.o.d"
+  "transport_hub"
+  "transport_hub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_hub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_analysis.dir/aggregate.cpp.o"
+  "CMakeFiles/cellrel_analysis.dir/aggregate.cpp.o.d"
+  "CMakeFiles/cellrel_analysis.dir/csv_io.cpp.o"
+  "CMakeFiles/cellrel_analysis.dir/csv_io.cpp.o.d"
+  "CMakeFiles/cellrel_analysis.dir/full_report.cpp.o"
+  "CMakeFiles/cellrel_analysis.dir/full_report.cpp.o.d"
+  "CMakeFiles/cellrel_analysis.dir/report.cpp.o"
+  "CMakeFiles/cellrel_analysis.dir/report.cpp.o.d"
+  "libcellrel_analysis.a"
+  "libcellrel_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bs/base_station.cpp" "src/bs/CMakeFiles/cellrel_bs.dir/base_station.cpp.o" "gcc" "src/bs/CMakeFiles/cellrel_bs.dir/base_station.cpp.o.d"
+  "/root/repo/src/bs/cell_id.cpp" "src/bs/CMakeFiles/cellrel_bs.dir/cell_id.cpp.o" "gcc" "src/bs/CMakeFiles/cellrel_bs.dir/cell_id.cpp.o.d"
+  "/root/repo/src/bs/deployment.cpp" "src/bs/CMakeFiles/cellrel_bs.dir/deployment.cpp.o" "gcc" "src/bs/CMakeFiles/cellrel_bs.dir/deployment.cpp.o.d"
+  "/root/repo/src/bs/isp.cpp" "src/bs/CMakeFiles/cellrel_bs.dir/isp.cpp.o" "gcc" "src/bs/CMakeFiles/cellrel_bs.dir/isp.cpp.o.d"
+  "/root/repo/src/bs/registry.cpp" "src/bs/CMakeFiles/cellrel_bs.dir/registry.cpp.o" "gcc" "src/bs/CMakeFiles/cellrel_bs.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellrel_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_bs.dir/base_station.cpp.o"
+  "CMakeFiles/cellrel_bs.dir/base_station.cpp.o.d"
+  "CMakeFiles/cellrel_bs.dir/cell_id.cpp.o"
+  "CMakeFiles/cellrel_bs.dir/cell_id.cpp.o.d"
+  "CMakeFiles/cellrel_bs.dir/deployment.cpp.o"
+  "CMakeFiles/cellrel_bs.dir/deployment.cpp.o.d"
+  "CMakeFiles/cellrel_bs.dir/isp.cpp.o"
+  "CMakeFiles/cellrel_bs.dir/isp.cpp.o.d"
+  "CMakeFiles/cellrel_bs.dir/registry.cpp.o"
+  "CMakeFiles/cellrel_bs.dir/registry.cpp.o.d"
+  "libcellrel_bs.a"
+  "libcellrel_bs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_bs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

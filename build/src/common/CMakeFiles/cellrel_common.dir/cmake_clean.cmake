@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_common.dir/histogram.cpp.o"
+  "CMakeFiles/cellrel_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/cellrel_common.dir/piecewise.cpp.o"
+  "CMakeFiles/cellrel_common.dir/piecewise.cpp.o.d"
+  "CMakeFiles/cellrel_common.dir/rng.cpp.o"
+  "CMakeFiles/cellrel_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cellrel_common.dir/sim_time.cpp.o"
+  "CMakeFiles/cellrel_common.dir/sim_time.cpp.o.d"
+  "CMakeFiles/cellrel_common.dir/stats.cpp.o"
+  "CMakeFiles/cellrel_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cellrel_common.dir/table.cpp.o"
+  "CMakeFiles/cellrel_common.dir/table.cpp.o.d"
+  "CMakeFiles/cellrel_common.dir/zipf.cpp.o"
+  "CMakeFiles/cellrel_common.dir/zipf.cpp.o.d"
+  "libcellrel_common.a"
+  "libcellrel_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

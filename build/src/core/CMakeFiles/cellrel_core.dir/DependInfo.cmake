@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/android_mod.cpp" "src/core/CMakeFiles/cellrel_core.dir/android_mod.cpp.o" "gcc" "src/core/CMakeFiles/cellrel_core.dir/android_mod.cpp.o.d"
+  "/root/repo/src/core/false_positive_filter.cpp" "src/core/CMakeFiles/cellrel_core.dir/false_positive_filter.cpp.o" "gcc" "src/core/CMakeFiles/cellrel_core.dir/false_positive_filter.cpp.o.d"
+  "/root/repo/src/core/monitor_service.cpp" "src/core/CMakeFiles/cellrel_core.dir/monitor_service.cpp.o" "gcc" "src/core/CMakeFiles/cellrel_core.dir/monitor_service.cpp.o.d"
+  "/root/repo/src/core/prober.cpp" "src/core/CMakeFiles/cellrel_core.dir/prober.cpp.o" "gcc" "src/core/CMakeFiles/cellrel_core.dir/prober.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/cellrel_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/cellrel_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/uploader.cpp" "src/core/CMakeFiles/cellrel_core.dir/uploader.cpp.o" "gcc" "src/core/CMakeFiles/cellrel_core.dir/uploader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellrel_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bs/CMakeFiles/cellrel_bs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cellrel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/telephony/CMakeFiles/cellrel_telephony.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cellrel_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_core.dir/android_mod.cpp.o"
+  "CMakeFiles/cellrel_core.dir/android_mod.cpp.o.d"
+  "CMakeFiles/cellrel_core.dir/false_positive_filter.cpp.o"
+  "CMakeFiles/cellrel_core.dir/false_positive_filter.cpp.o.d"
+  "CMakeFiles/cellrel_core.dir/monitor_service.cpp.o"
+  "CMakeFiles/cellrel_core.dir/monitor_service.cpp.o.d"
+  "CMakeFiles/cellrel_core.dir/prober.cpp.o"
+  "CMakeFiles/cellrel_core.dir/prober.cpp.o.d"
+  "CMakeFiles/cellrel_core.dir/trace.cpp.o"
+  "CMakeFiles/cellrel_core.dir/trace.cpp.o.d"
+  "CMakeFiles/cellrel_core.dir/uploader.cpp.o"
+  "CMakeFiles/cellrel_core.dir/uploader.cpp.o.d"
+  "libcellrel_core.a"
+  "libcellrel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

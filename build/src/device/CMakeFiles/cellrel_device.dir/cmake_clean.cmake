@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_device.dir/device.cpp.o"
+  "CMakeFiles/cellrel_device.dir/device.cpp.o.d"
+  "CMakeFiles/cellrel_device.dir/phone_model.cpp.o"
+  "CMakeFiles/cellrel_device.dir/phone_model.cpp.o.d"
+  "libcellrel_device.a"
+  "libcellrel_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network_stack.cpp" "src/net/CMakeFiles/cellrel_net.dir/network_stack.cpp.o" "gcc" "src/net/CMakeFiles/cellrel_net.dir/network_stack.cpp.o.d"
+  "/root/repo/src/net/tcp_stats.cpp" "src/net/CMakeFiles/cellrel_net.dir/tcp_stats.cpp.o" "gcc" "src/net/CMakeFiles/cellrel_net.dir/tcp_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

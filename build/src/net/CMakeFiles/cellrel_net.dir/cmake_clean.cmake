@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_net.dir/network_stack.cpp.o"
+  "CMakeFiles/cellrel_net.dir/network_stack.cpp.o.d"
+  "CMakeFiles/cellrel_net.dir/tcp_stats.cpp.o"
+  "CMakeFiles/cellrel_net.dir/tcp_stats.cpp.o.d"
+  "libcellrel_net.a"
+  "libcellrel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/fail_cause.cpp" "src/radio/CMakeFiles/cellrel_radio.dir/fail_cause.cpp.o" "gcc" "src/radio/CMakeFiles/cellrel_radio.dir/fail_cause.cpp.o.d"
+  "/root/repo/src/radio/modem.cpp" "src/radio/CMakeFiles/cellrel_radio.dir/modem.cpp.o" "gcc" "src/radio/CMakeFiles/cellrel_radio.dir/modem.cpp.o.d"
+  "/root/repo/src/radio/ril.cpp" "src/radio/CMakeFiles/cellrel_radio.dir/ril.cpp.o" "gcc" "src/radio/CMakeFiles/cellrel_radio.dir/ril.cpp.o.d"
+  "/root/repo/src/radio/signal.cpp" "src/radio/CMakeFiles/cellrel_radio.dir/signal.cpp.o" "gcc" "src/radio/CMakeFiles/cellrel_radio.dir/signal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_radio.dir/fail_cause.cpp.o"
+  "CMakeFiles/cellrel_radio.dir/fail_cause.cpp.o.d"
+  "CMakeFiles/cellrel_radio.dir/modem.cpp.o"
+  "CMakeFiles/cellrel_radio.dir/modem.cpp.o.d"
+  "CMakeFiles/cellrel_radio.dir/ril.cpp.o"
+  "CMakeFiles/cellrel_radio.dir/ril.cpp.o.d"
+  "CMakeFiles/cellrel_radio.dir/signal.cpp.o"
+  "CMakeFiles/cellrel_radio.dir/signal.cpp.o.d"
+  "libcellrel_radio.a"
+  "libcellrel_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cellrel_sim.dir/event_queue.cpp.o.d"
+  "libcellrel_sim.a"
+  "libcellrel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telephony/apn.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/apn.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/apn.cpp.o.d"
+  "/root/repo/src/telephony/data_connection.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/data_connection.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/data_connection.cpp.o.d"
+  "/root/repo/src/telephony/data_stall.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/data_stall.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/data_stall.cpp.o.d"
+  "/root/repo/src/telephony/dc_tracker.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/dc_tracker.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/dc_tracker.cpp.o.d"
+  "/root/repo/src/telephony/handover.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/handover.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/handover.cpp.o.d"
+  "/root/repo/src/telephony/rat_policy.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/rat_policy.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/rat_policy.cpp.o.d"
+  "/root/repo/src/telephony/recovery.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/recovery.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/recovery.cpp.o.d"
+  "/root/repo/src/telephony/service_state.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/service_state.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/service_state.cpp.o.d"
+  "/root/repo/src/telephony/sms_service.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/sms_service.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/sms_service.cpp.o.d"
+  "/root/repo/src/telephony/telephony_manager.cpp" "src/telephony/CMakeFiles/cellrel_telephony.dir/telephony_manager.cpp.o" "gcc" "src/telephony/CMakeFiles/cellrel_telephony.dir/telephony_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellrel_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/bs/CMakeFiles/cellrel_bs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cellrel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

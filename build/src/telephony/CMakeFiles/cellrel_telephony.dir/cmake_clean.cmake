@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_telephony.dir/apn.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/apn.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/data_connection.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/data_connection.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/data_stall.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/data_stall.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/dc_tracker.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/dc_tracker.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/handover.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/handover.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/rat_policy.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/rat_policy.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/recovery.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/recovery.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/service_state.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/service_state.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/sms_service.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/sms_service.cpp.o.d"
+  "CMakeFiles/cellrel_telephony.dir/telephony_manager.cpp.o"
+  "CMakeFiles/cellrel_telephony.dir/telephony_manager.cpp.o.d"
+  "libcellrel_telephony.a"
+  "libcellrel_telephony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_telephony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cellrel_telephony.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timp/recovery_optimizer.cpp" "src/timp/CMakeFiles/cellrel_timp.dir/recovery_optimizer.cpp.o" "gcc" "src/timp/CMakeFiles/cellrel_timp.dir/recovery_optimizer.cpp.o.d"
+  "/root/repo/src/timp/timp_model.cpp" "src/timp/CMakeFiles/cellrel_timp.dir/timp_model.cpp.o" "gcc" "src/timp/CMakeFiles/cellrel_timp.dir/timp_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/telephony/CMakeFiles/cellrel_telephony.dir/DependInfo.cmake"
+  "/root/repo/build/src/bs/CMakeFiles/cellrel_bs.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellrel_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cellrel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_timp.dir/recovery_optimizer.cpp.o"
+  "CMakeFiles/cellrel_timp.dir/recovery_optimizer.cpp.o.d"
+  "CMakeFiles/cellrel_timp.dir/timp_model.cpp.o"
+  "CMakeFiles/cellrel_timp.dir/timp_model.cpp.o.d"
+  "libcellrel_timp.a"
+  "libcellrel_timp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_timp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

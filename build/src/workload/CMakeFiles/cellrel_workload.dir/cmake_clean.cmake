@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_workload.dir/calibration.cpp.o"
+  "CMakeFiles/cellrel_workload.dir/calibration.cpp.o.d"
+  "CMakeFiles/cellrel_workload.dir/campaign.cpp.o"
+  "CMakeFiles/cellrel_workload.dir/campaign.cpp.o.d"
+  "CMakeFiles/cellrel_workload.dir/scenario.cpp.o"
+  "CMakeFiles/cellrel_workload.dir/scenario.cpp.o.d"
+  "libcellrel_workload.a"
+  "libcellrel_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/aggregate_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/analysis/aggregate_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/analysis/aggregate_test.cpp.o.d"
+  "/root/repo/tests/analysis/csv_io_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/analysis/csv_io_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/analysis/csv_io_test.cpp.o.d"
+  "/root/repo/tests/analysis/full_report_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/analysis/full_report_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/analysis/full_report_test.cpp.o.d"
+  "/root/repo/tests/bs/bs_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/bs/bs_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/bs/bs_test.cpp.o.d"
+  "/root/repo/tests/common/histogram_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/histogram_test.cpp.o.d"
+  "/root/repo/tests/common/piecewise_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/piecewise_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/piecewise_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/sim_time_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/sim_time_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/sim_time_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/table_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/table_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/table_test.cpp.o.d"
+  "/root/repo/tests/common/zipf_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/common/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/common/zipf_test.cpp.o.d"
+  "/root/repo/tests/core/filter_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/core/filter_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/core/filter_test.cpp.o.d"
+  "/root/repo/tests/core/monitor_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/core/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/core/monitor_test.cpp.o.d"
+  "/root/repo/tests/core/prober_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/core/prober_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/core/prober_test.cpp.o.d"
+  "/root/repo/tests/core/trace_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/core/trace_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/core/trace_test.cpp.o.d"
+  "/root/repo/tests/core/uploader_overhead_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/core/uploader_overhead_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/core/uploader_overhead_test.cpp.o.d"
+  "/root/repo/tests/device/device_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/device/device_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/device/device_test.cpp.o.d"
+  "/root/repo/tests/integration/property_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/integration/property_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/integration/property_test.cpp.o.d"
+  "/root/repo/tests/net/net_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/net/net_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/net/net_test.cpp.o.d"
+  "/root/repo/tests/radio/fail_cause_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/radio/fail_cause_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/radio/fail_cause_test.cpp.o.d"
+  "/root/repo/tests/radio/modem_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/radio/modem_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/radio/modem_test.cpp.o.d"
+  "/root/repo/tests/radio/ril_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/radio/ril_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/radio/ril_test.cpp.o.d"
+  "/root/repo/tests/radio/signal_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/radio/signal_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/radio/signal_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/telephony/apn_sms_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/apn_sms_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/apn_sms_test.cpp.o.d"
+  "/root/repo/tests/telephony/data_connection_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/data_connection_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/data_connection_test.cpp.o.d"
+  "/root/repo/tests/telephony/data_stall_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/data_stall_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/data_stall_test.cpp.o.d"
+  "/root/repo/tests/telephony/dc_tracker_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/dc_tracker_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/dc_tracker_test.cpp.o.d"
+  "/root/repo/tests/telephony/dual_connectivity_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/dual_connectivity_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/dual_connectivity_test.cpp.o.d"
+  "/root/repo/tests/telephony/handover_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/handover_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/handover_test.cpp.o.d"
+  "/root/repo/tests/telephony/rat_policy_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/rat_policy_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/rat_policy_test.cpp.o.d"
+  "/root/repo/tests/telephony/recovery_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/recovery_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/recovery_test.cpp.o.d"
+  "/root/repo/tests/telephony/service_state_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/service_state_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/service_state_test.cpp.o.d"
+  "/root/repo/tests/telephony/telephony_manager_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/telephony/telephony_manager_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/telephony/telephony_manager_test.cpp.o.d"
+  "/root/repo/tests/timp/timp_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/timp/timp_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/timp/timp_test.cpp.o.d"
+  "/root/repo/tests/workload/calibration_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/workload/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/workload/calibration_test.cpp.o.d"
+  "/root/repo/tests/workload/campaign_test.cpp" "tests/CMakeFiles/cellrel_tests.dir/workload/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/cellrel_tests.dir/workload/campaign_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/cellrel_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cellrel_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/timp/CMakeFiles/cellrel_timp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cellrel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/cellrel_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/telephony/CMakeFiles/cellrel_telephony.dir/DependInfo.cmake"
+  "/root/repo/build/src/bs/CMakeFiles/cellrel_bs.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/cellrel_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cellrel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cellrel_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cellrel_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

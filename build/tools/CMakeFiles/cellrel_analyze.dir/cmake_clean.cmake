@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_analyze.dir/cellrel_analyze.cpp.o"
+  "CMakeFiles/cellrel_analyze.dir/cellrel_analyze.cpp.o.d"
+  "cellrel_analyze"
+  "cellrel_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cellrel_campaign.dir/cellrel_campaign.cpp.o"
+  "CMakeFiles/cellrel_campaign.dir/cellrel_campaign.cpp.o.d"
+  "cellrel_campaign"
+  "cellrel_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cellrel_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
