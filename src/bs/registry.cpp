@@ -1,8 +1,9 @@
 #include "bs/registry.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -43,6 +44,10 @@ BsRegistry::BsRegistry(const DeploymentConfig& config, Rng& rng) {
     const BsIndex idx = spec.index;
     const IspId isp = spec.isp;
     const LocationClass loc = spec.location;
+    // Cell IDs must be unique and dense: the spec index doubles as the
+    // station's position in `stations_`, so every later lookup depends on it.
+    CELLREL_CHECK_OP(static_cast<std::size_t>(idx), ==, stations_.size())
+        << "deployment emitted a duplicate or out-of-order cell id";
     stations_.emplace_back(std::move(spec));
     buckets_[index_of(isp)][index_of(loc)].push_back(idx);
     by_isp_[index_of(isp)].push_back(idx);
@@ -53,7 +58,8 @@ BsIndex BsRegistry::pick_bs(IspId isp, LocationClass location, Rng& rng) const {
   const auto& bucket = buckets_[index_of(isp)][index_of(location)];
   const auto& fallback = by_isp_[index_of(isp)];
   const auto& pool = bucket.empty() ? fallback : bucket;
-  assert(!pool.empty());
+  CELLREL_CHECK(!pool.empty()) << "ISP " << static_cast<int>(isp)
+                               << " has no deployed base stations";
   const auto i = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(pool.size()) - 1));
   return pool[i];
@@ -92,6 +98,7 @@ std::vector<CellCandidate> BsRegistry::enumerate_candidates(BsIndex bs_index,
                                                             bool device_5g_capable,
                                                             Rng& rng) const {
   std::vector<CellCandidate> out;
+  CELLREL_CHECK_OP(static_cast<std::size_t>(bs_index), <, stations_.size());
   const BaseStation& bs = stations_[bs_index];
   for (Rat rat : kAllRats) {
     if (!bs.supports(rat)) continue;

@@ -1,0 +1,74 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+
+namespace cellrel {
+
+namespace {
+
+std::mutex& handler_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+CheckFailureHandler& handler_slot() {
+  static CheckFailureHandler handler;  // empty = default abort handler
+  return handler;
+}
+
+CheckFailureHandler current_handler() {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  return handler_slot();
+}
+
+[[noreturn]] void default_handler(const CheckFailure& failure) {
+  std::fputs(failure.to_string().c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+std::string CheckFailure::to_string() const {
+  std::string out = location.file_name();
+  out += ':';
+  out += std::to_string(location.line());
+  out += ": CELLREL_CHECK failed: ";
+  out += condition;
+  if (!message.empty()) {
+    out += " (";
+    out += message;
+    out += ')';
+  }
+  return out;
+}
+
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mutex());
+  return std::exchange(handler_slot(), std::move(handler));
+}
+
+CheckFailureHandler throwing_check_failure_handler() {
+  return [](const CheckFailure& failure) {
+    throw ContractViolation(failure.to_string());
+  };
+}
+
+namespace detail {
+
+CheckMessage::~CheckMessage() noexcept(false) {
+  CheckFailure failure{std::move(condition_), stream_.str(), location_};
+  if (CheckFailureHandler handler = current_handler()) {
+    handler(failure);  // a test handler typically throws ContractViolation
+  }
+  // The installed handler returned normally (or none was installed): a
+  // violated contract must never be survivable by accident.
+  default_handler(failure);
+}
+
+}  // namespace detail
+}  // namespace cellrel

@@ -1,0 +1,172 @@
+// Contract macros for runtime invariants.
+//
+// CELLREL_CHECK(cond)           — always-on invariant; fires on violation.
+// CELLREL_CHECK_OP(a, op, b)    — like CHECK(a op b) but the failure message
+//                                 includes both operand values.
+// CELLREL_DCHECK(cond)          — debug-only (compiled out under NDEBUG unless
+//                                 CELLREL_DCHECK_ALWAYS_ON is defined); use on
+//                                 hot paths where an always-on branch would
+//                                 cost real throughput.
+// CELLREL_UNREACHABLE()         — marks a path that must never execute.
+//
+// All macros support message streaming:
+//
+//   CELLREL_CHECK(e.time >= now_) << "event scheduled in the past at " << e.time;
+//   CELLREL_CHECK_OP(next_stage_, <, kRecoveryStageCount);
+//
+// On violation the current failure handler receives a CheckFailure carrying
+// the failed expression, the streamed message, and the call site
+// (std::source_location). The default handler prints the failure to stderr
+// and aborts. Tests install a throwing handler (ScopedCheckFailureHandler +
+// throwing_check_failure_handler) so contract violations can be asserted on
+// with EXPECT_THROW(..., ContractViolation) instead of dying.
+
+#ifndef CELLREL_COMMON_CHECK_H
+#define CELLREL_COMMON_CHECK_H
+
+#include <functional>
+#include <memory>
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cellrel {
+
+/// Everything known about a failed contract, handed to the failure handler.
+struct CheckFailure {
+  std::string condition;            // the failed expression (with values for CHECK_OP)
+  std::string message;              // whatever was streamed after the macro
+  std::source_location location;    // call site
+
+  /// "file:line: CELLREL_CHECK failed: cond (message)" — the default
+  /// handler prints this, and the throwing handler uses it as what().
+  std::string to_string() const;
+};
+
+using CheckFailureHandler = std::function<void(const CheckFailure&)>;
+
+/// Installs `handler` as the process-wide failure handler and returns the
+/// previous one. Passing nullptr restores the default abort handler.
+CheckFailureHandler set_check_failure_handler(CheckFailureHandler handler);
+
+/// Thrown by throwing_check_failure_handler(); lets tests assert that a
+/// contract fired without killing the process.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// A handler that throws ContractViolation(failure.to_string()).
+CheckFailureHandler throwing_check_failure_handler();
+
+/// RAII: installs a handler for the current scope, restores on destruction.
+class ScopedCheckFailureHandler {
+ public:
+  explicit ScopedCheckFailureHandler(CheckFailureHandler handler)
+      : previous_(set_check_failure_handler(std::move(handler))) {}
+  ~ScopedCheckFailureHandler() { set_check_failure_handler(std::move(previous_)); }
+  ScopedCheckFailureHandler(const ScopedCheckFailureHandler&) = delete;
+  ScopedCheckFailureHandler& operator=(const ScopedCheckFailureHandler&) = delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+namespace detail {
+
+/// Accumulates the streamed message; its destructor fires the failure
+/// handler. Constructed only on the failure path, so the (deliberately
+/// throwing-capable) destructor only ever runs for a violated contract.
+class CheckMessage {
+ public:
+  CheckMessage(std::string condition, std::source_location loc)
+      : condition_(std::move(condition)), location_(loc) {}
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+  ~CheckMessage() noexcept(false);
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::string condition_;
+  std::source_location location_;
+  std::ostringstream stream_;
+};
+
+/// Binds `&` tighter than `?:` but looser than `<<`, turning the streamed
+/// expression into void so both ternary branches agree on type.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+/// Renders an operand for CHECK_OP messages; falls back for types without
+/// operator<<.
+template <typename T>
+std::string check_op_stringify(const T& value) {
+  if constexpr (requires(std::ostream& os, const T& v) { os << v; }) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    return "<unprintable>";
+  }
+}
+
+/// Evaluates a binary comparison once; on failure returns the annotated
+/// expression ("a < b (5 vs. 3)"), on success returns null.
+template <typename A, typename B, typename Cmp>
+std::unique_ptr<std::string> check_op(const A& a, const B& b, Cmp cmp, const char* expr) {
+  if (cmp(a, b)) return nullptr;
+  return std::make_unique<std::string>(std::string(expr) + " (" + check_op_stringify(a) +
+                                       " vs. " + check_op_stringify(b) + ")");
+}
+
+}  // namespace detail
+}  // namespace cellrel
+
+#define CELLREL_CHECK(cond)                                           \
+  (cond) ? (void)0                                                    \
+         : ::cellrel::detail::Voidify{} &                             \
+               ::cellrel::detail::CheckMessage(                       \
+                   #cond, ::std::source_location::current())          \
+                   .stream()
+
+// `while` keeps this usable as an unbraced statement; the loop body runs at
+// most once because the CheckMessage destructor never returns normally (the
+// handler throws, or the default handler aborts).
+#define CELLREL_CHECK_OP(lhs, op, rhs)                                        \
+  while (auto cellrel_check_op_result_ = ::cellrel::detail::check_op(         \
+             (lhs), (rhs),                                                    \
+             [](const auto& cellrel_a_, const auto& cellrel_b_) {             \
+               return cellrel_a_ op cellrel_b_;                               \
+             },                                                               \
+             #lhs " " #op " " #rhs))                                          \
+  ::cellrel::detail::Voidify{} &                                              \
+      ::cellrel::detail::CheckMessage(*cellrel_check_op_result_,              \
+                                      ::std::source_location::current())      \
+          .stream()
+
+#define CELLREL_UNREACHABLE()                                         \
+  ::cellrel::detail::Voidify{} &                                      \
+      ::cellrel::detail::CheckMessage(                                \
+          "CELLREL_UNREACHABLE reached",                              \
+          ::std::source_location::current())                          \
+          .stream()
+
+#if defined(NDEBUG) && !defined(CELLREL_DCHECK_ALWAYS_ON)
+// Release: the condition is type-checked but never evaluated; the whole
+// expression folds away.
+#define CELLREL_DCHECK(cond)                                          \
+  (true || (cond)) ? (void)0                                          \
+                   : ::cellrel::detail::Voidify{} &                   \
+                         ::cellrel::detail::CheckMessage(             \
+                             #cond, ::std::source_location::current()) \
+                             .stream()
+#define CELLREL_DCHECK_IS_ON() false
+#else
+#define CELLREL_DCHECK(cond) CELLREL_CHECK(cond)
+#define CELLREL_DCHECK_IS_ON() true
+#endif
+
+#endif  // CELLREL_COMMON_CHECK_H

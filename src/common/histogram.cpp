@@ -1,15 +1,17 @@
 #include "common/histogram.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
+
+#include "common/check.h"
 
 namespace cellrel {
 
 LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
-  assert(hi > lo && bins > 0);
+  CELLREL_CHECK(hi > lo && bins > 0)
+      << "bad linear histogram: lo=" << lo << " hi=" << hi << " bins=" << bins;
 }
 
 void LinearHistogram::add(double x, std::uint64_t weight) {
@@ -46,7 +48,9 @@ double LinearHistogram::cumulative_fraction(double x) const {
 
 LogHistogram::LogHistogram(double first_edge, double ratio, std::size_t bins)
     : first_edge_(first_edge), ratio_(ratio), counts_(bins, 0) {
-  assert(first_edge > 0.0 && ratio > 1.0 && bins > 0);
+  CELLREL_CHECK(first_edge > 0.0 && ratio > 1.0 && bins > 0)
+      << "bad log histogram: first_edge=" << first_edge << " ratio=" << ratio
+      << " bins=" << bins;
 }
 
 void LogHistogram::add(double x, std::uint64_t weight) {

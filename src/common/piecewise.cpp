@@ -1,7 +1,7 @@
 #include "common/piecewise.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 #include <cmath>
 #include <stdexcept>
 
@@ -74,7 +74,7 @@ double PiecewiseCdf::quantile(double u) const {
 }
 
 double PiecewiseCdf::approximate_mean(std::size_t steps) const {
-  assert(steps >= 2);
+  CELLREL_CHECK_OP(steps, >=, std::size_t{2});
   // E[X] = integral over u in [0,1] of quantile(u); midpoint rule.
   double total = 0.0;
   for (std::size_t i = 0; i < steps; ++i) {

@@ -1,6 +1,6 @@
 #include "common/rng.h"
 
-#include <cassert>
+#include "common/check.h"
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
@@ -44,7 +44,7 @@ double Rng::next_double() {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  CELLREL_DCHECK(lo <= hi) << "uniform_int: lo=" << lo << " > hi=" << hi;
   const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
   if (range == 0) return static_cast<std::int64_t>(next_u64());  // full range
   // Rejection sampling to avoid modulo bias.
@@ -63,7 +63,7 @@ bool Rng::bernoulli(double p) {
 }
 
 double Rng::exponential(double mean) {
-  assert(mean > 0.0);
+  CELLREL_DCHECK(mean > 0.0) << "exponential: mean=" << mean;
   double u = next_double();
   // Avoid log(0).
   if (u <= 0.0) u = 0x1.0p-53;
@@ -99,7 +99,7 @@ std::uint64_t Rng::poisson(double mean) {
 
 std::uint64_t Rng::geometric(double p) {
   if (p >= 1.0) return 0;
-  assert(p > 0.0);
+  CELLREL_DCHECK(p > 0.0) << "geometric: p=" << p;
   double u = next_double();
   if (u <= 0.0) u = 0x1.0p-53;
   return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
@@ -158,7 +158,7 @@ AliasTable::AliasTable(std::span<const double> weights) {
 }
 
 std::size_t AliasTable::sample(Rng& rng) const {
-  assert(!prob_.empty());
+  CELLREL_CHECK(!prob_.empty()) << "sampling from an empty alias table";
   const auto i = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(prob_.size()) - 1));
   return rng.next_double() < prob_[i] ? i : alias_[i];

@@ -1,15 +1,16 @@
 #include "common/zipf.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 #include "common/stats.h"
 
 namespace cellrel {
 
 ZipfSampler::ZipfSampler(std::size_t n, double s) : n_(n), s_(s) {
-  assert(n > 0);
+  CELLREL_CHECK_OP(n, >, std::size_t{0});
   cdf_.resize(n);
   double total = 0.0;
   for (std::size_t k = 1; k <= n; ++k) {

@@ -1,6 +1,6 @@
 #include "core/prober.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -28,7 +28,7 @@ NetworkStateProber::NetworkStateProber(Simulator& sim, NetworkStack& stack, Conf
     : sim_(sim), stack_(stack), config_(config) {}
 
 void NetworkStateProber::start(SimTime stall_started, CompletionCallback on_done) {
-  assert(!active_);
+  CELLREL_CHECK(!active_) << "prober restarted while a probe round is in flight";
   active_ = true;
   fallback_mode_ = false;
   stall_started_ = stall_started;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
+#include "common/check.h"
 #include <cmath>
 #include <stdexcept>
 
@@ -293,7 +293,7 @@ FailCause FailCauseSampler::sample_true_failure(Rng& rng) const {
 }
 
 FailCause FailCauseSampler::sample_false_positive(Rng& rng) const {
-  assert(!fp_codes_.empty());
+  CELLREL_CHECK(!fp_codes_.empty()) << "sampler has no false-positive codes configured";
   const auto i = static_cast<std::size_t>(
       rng.uniform_int(0, static_cast<std::int64_t>(fp_codes_.size()) - 1));
   return fp_codes_[i];

@@ -1,7 +1,7 @@
 #include "radio/signal.h"
 
 #include <algorithm>
-#include <cassert>
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -52,7 +52,8 @@ SignalMeasurement sample_measurement(Rat rat, SignalLevel level, Rng& rng) {
   m.rat = rat;
   m.dbm = rng.uniform(edges[i], edges[i + 1]);
   m.level = level;
-  assert(signal_level_from_dbm(rat, m.dbm) == level);
+  CELLREL_DCHECK(signal_level_from_dbm(rat, m.dbm) == level)
+      << "sampled " << m.dbm << " dBm outside the bucket for its level";
   return m;
 }
 

@@ -1,8 +1,9 @@
 #include "sim/event_queue.h"
 
-#include <cassert>
 #include <stdexcept>
 #include <utility>
+
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -27,7 +28,14 @@ ScheduledEvent Simulator::schedule_after(SimDuration delay, std::function<void()
 }
 
 bool Simulator::fire(Entry& e) {
-  assert(e.time >= now_);
+  CELLREL_CHECK(e.state != nullptr) << "scheduled entry lost its state block";
+  CELLREL_CHECK(e.time >= now_) << "simulation clock would run backwards: event at "
+                                << to_string(e.time) << ", clock at " << to_string(now_);
+  CELLREL_DCHECK(!e.state->fired) << "event fired twice (heap corruption?)";
+  // The popped entry must still be the (time, seq) minimum of what remains.
+  CELLREL_DCHECK(queue_.empty() || queue_.top().time > e.time ||
+                 (queue_.top().time == e.time && queue_.top().seq > e.seq))
+      << "event heap order violated";
   now_ = e.time;
   if (e.state->cancelled) return false;
   e.state->fired = true;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace cellrel {
 
 DataStallDetector::DataStallDetector(Simulator& sim, const TcpSegmentCounters& tcp,
@@ -10,7 +12,11 @@ DataStallDetector::DataStallDetector(Simulator& sim, const TcpSegmentCounters& t
 
 DataStallDetector::DataStallDetector(Simulator& sim, const TcpSegmentCounters& tcp,
                                      const NetworkStack& stack, Config config)
-    : sim_(sim), tcp_(tcp), stack_(stack), config_(config) {}
+    : sim_(sim), tcp_(tcp), stack_(stack), config_(config) {
+  CELLREL_CHECK_OP(config_.sent_threshold, >, std::uint64_t{0});
+  CELLREL_CHECK(config_.check_interval > SimDuration::zero())
+      << "check_interval=" << to_string(config_.check_interval);
+}
 
 void DataStallDetector::add_listener(FailureEventListener* l) {
   if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
@@ -58,6 +64,11 @@ FalsePositiveKind DataStallDetector::ground_truth() const {
 
 void DataStallDetector::check() {
   const SimTime now = sim_.now();
+  // The detector is a two-state machine (quiet <-> episode); an episode can
+  // only have started in the past.
+  CELLREL_CHECK(!episode_active_ || episode_started_ <= now)
+      << "episode started at " << to_string(episode_started_) << ", now "
+      << to_string(now);
   const bool suspected = tcp_.stall_suspected(now, config_.sent_threshold);
   if (suspected && !episode_active_) {
     episode_active_ = true;

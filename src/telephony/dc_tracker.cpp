@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/check.h"
+
 namespace cellrel {
 
 DcTracker::DcTracker(Simulator& sim, RadioInterfaceLayer& ril)
@@ -37,6 +39,8 @@ void DcTracker::attempt_setup() {
   if (dc_.state() == DcState::kInactive || dc_.state() == DcState::kRetrying) {
     dc_.transition(DcState::kActivating, sim_.now());
   }
+  CELLREL_CHECK(dc_.state() == DcState::kActivating)
+      << "SETUP_DATA_CALL issued in state " << to_string(dc_.state());
   ++setup_attempts_;
   ril_.setup_data_call([this](const ModemResult& r) { on_setup_response(r); });
 }
@@ -65,6 +69,8 @@ void DcTracker::on_setup_response(const ModemResult& result) {
   }
 
   ++setup_failures_;
+  CELLREL_DCHECK(setup_failures_ <= setup_attempts_)
+      << setup_failures_ << " failures vs " << setup_attempts_ << " attempts";
   FailureEvent event;
   event.type = FailureType::kDataSetupError;
   event.at = sim_.now();
@@ -118,6 +124,8 @@ void DcTracker::teardown(bool user_initiated) {
     default:
       break;
   }
+  CELLREL_CHECK(dc_.state() == DcState::kInactive || dc_.state() == DcState::kDisconnect)
+      << "teardown left the connection " << to_string(dc_.state());
 }
 
 void DcTracker::disrupt_by_voice_call() {

@@ -1,6 +1,6 @@
 #include "telephony/handover.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -25,8 +25,9 @@ HandoverController::HandoverController(Simulator& sim, DcTracker& tracker,
     : sim_(sim), tracker_(tracker), dualconn_(dualconn), config_(config) {}
 
 void HandoverController::start(const CellCandidate& target, CompletionCallback on_done) {
-  assert(phase_ == HandoverPhase::kIdle || phase_ == HandoverPhase::kComplete ||
-         phase_ == HandoverPhase::kFailed);
+  CELLREL_CHECK(phase_ == HandoverPhase::kIdle || phase_ == HandoverPhase::kComplete ||
+                phase_ == HandoverPhase::kFailed)
+      << "handover restarted mid-flight in phase " << to_string(phase_);
   ++started_;
   on_done_ = std::move(on_done);
   source_ = {tracker_.cell_context().bs, tracker_.cell_context().rat,

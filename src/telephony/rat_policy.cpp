@@ -1,7 +1,6 @@
 #include "telephony/rat_policy.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace cellrel {
 

@@ -1,7 +1,8 @@
 #include "telephony/recovery.h"
 
-#include <cassert>
 #include <utility>
+
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -40,7 +41,7 @@ DataStallRecoverer::DataStallRecoverer(Simulator& sim, ProbationSchedule schedul
     : sim_(sim), schedule_(std::move(schedule)), hooks_(std::move(hooks)) {}
 
 void DataStallRecoverer::set_hooks(Hooks hooks) {
-  assert(!active_);
+  CELLREL_CHECK(!active_) << "hooks swapped while a recovery episode is running";
   hooks_ = std::move(hooks);
 }
 
@@ -56,6 +57,7 @@ void DataStallRecoverer::on_stall_detected() {
 }
 
 void DataStallRecoverer::arm_probation() {
+  CELLREL_CHECK_OP(std::size_t{next_stage_}, <, kRecoveryStageCount);
   const SimDuration wait = schedule_.probation[next_stage_];
   pending_ = sim_.schedule_after(wait, [this] { probation_expired(); });
 }

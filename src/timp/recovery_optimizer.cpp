@@ -1,5 +1,6 @@
 #include "timp/recovery_optimizer.h"
 
+#include "common/check.h"
 #include "timp/annealing.h"
 
 namespace cellrel {
@@ -8,7 +9,11 @@ RecoveryOptimizer::RecoveryOptimizer(TimpModel model)
     : RecoveryOptimizer(std::move(model), Config{}) {}
 
 RecoveryOptimizer::RecoveryOptimizer(TimpModel model, Config config)
-    : model_(std::move(model)), config_(config) {}
+    : model_(std::move(model)), config_(config) {
+  CELLREL_CHECK(config_.min_probation_s > 0.0)
+      << "min_probation_s=" << config_.min_probation_s;
+  CELLREL_CHECK_OP(config_.min_probation_s, <=, config_.max_probation_s);
+}
 
 OptimizedRecovery RecoveryOptimizer::optimize() const {
   AnnealingConfig<3> cfg;
@@ -22,6 +27,14 @@ OptimizedRecovery RecoveryOptimizer::optimize() const {
   };
   const AnnealingResult<3> r =
       anneal<3>(cfg, objective, Rng{config_.seed});
+
+  // The annealer must respect the probation box constraints: a schedule
+  // outside [min, max] would be rejected by the Android recovery config.
+  for (double p : r.best) {
+    CELLREL_CHECK(p >= config_.min_probation_s && p <= config_.max_probation_s)
+        << "annealer escaped the probation bounds: " << p << " not in ["
+        << config_.min_probation_s << ", " << config_.max_probation_s << "]";
+  }
 
   OptimizedRecovery out;
   out.probations_s = r.best;

@@ -1,9 +1,10 @@
 #include "timp/timp_model.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/check.h"
 
 namespace cellrel {
 
@@ -33,11 +34,12 @@ double AutoRecoveryCurve::cdf(double t) const {
 
 TimpModel::TimpModel(AutoRecoveryCurve curve, Params params)
     : curve_(std::move(curve)), params_(params) {
-  assert(params_.integration_step_s > 0.0);
+  CELLREL_CHECK(params_.integration_step_s > 0.0)
+      << "integration_step_s=" << params_.integration_step_s;
 }
 
 double TimpModel::survival(int state, double window_start, double t) const {
-  assert(state >= 0 && state <= 3);
+  CELLREL_DCHECK(state >= 0 && state <= 3) << "state=" << state;
   if (t <= window_start) return 1.0;
   const double f_start = curve_.cdf(window_start);
   const double auto_survive_start = 1.0 - f_start;

@@ -1,7 +1,6 @@
 #include "workload/campaign.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <functional>
 #include <optional>

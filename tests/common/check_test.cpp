@@ -1,0 +1,135 @@
+// Contract-framework tests: handler plumbing, message formatting, and the
+// release-mode DCHECK compile-out guarantee.
+
+#include "common/check.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+TEST(Check, PassingCheckDoesNotFire) {
+  bool fired = false;
+  ScopedCheckFailureHandler guard([&](const CheckFailure&) { fired = true; });
+  CELLREL_CHECK(1 + 1 == 2) << "never evaluated";
+  CELLREL_CHECK_OP(2, ==, 2);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Check, FailingCheckReachesHandlerWithDetails) {
+  std::vector<CheckFailure> captured;
+  {
+    ScopedCheckFailureHandler guard([&](const CheckFailure& f) {
+      captured.push_back(f);
+      throw ContractViolation(f.to_string());
+    });
+    EXPECT_THROW(CELLREL_CHECK(2 + 2 == 5) << "math is broken: " << 42,
+                 ContractViolation);
+  }
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].condition, "2 + 2 == 5");
+  EXPECT_EQ(captured[0].message, "math is broken: 42");
+  EXPECT_NE(std::string(captured[0].location.file_name()).find("check_test.cpp"),
+            std::string::npos);
+  EXPECT_GT(captured[0].location.line(), 0u);
+}
+
+TEST(Check, ThrowingHandlerHelper) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  EXPECT_THROW(CELLREL_CHECK(false), ContractViolation);
+  try {
+    CELLREL_CHECK(false) << "streamed detail";
+    FAIL() << "check did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("streamed detail"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("CELLREL_CHECK failed"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckOpIncludesBothOperandValues) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  const int lo = 7;
+  const int hi = 3;
+  try {
+    CELLREL_CHECK_OP(lo, <=, hi);
+    FAIL() << "check did not fire";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lo <= hi"), std::string::npos) << what;
+    EXPECT_NE(what.find("7 vs. 3"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, CheckOpEvaluatesOperandsOnce) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  int evaluations = 0;
+  auto count = [&] { ++evaluations; return 1; };
+  CELLREL_CHECK_OP(count(), ==, 1);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, HandlerRestoredAfterScope) {
+  bool outer_fired = false;
+  ScopedCheckFailureHandler outer([&](const CheckFailure&) {
+    outer_fired = true;
+    throw ContractViolation("outer");
+  });
+  {
+    ScopedCheckFailureHandler inner(throwing_check_failure_handler());
+    EXPECT_THROW(CELLREL_CHECK(false), ContractViolation);
+    EXPECT_FALSE(outer_fired);
+  }
+  EXPECT_THROW(CELLREL_CHECK(false), ContractViolation);
+  EXPECT_TRUE(outer_fired);
+}
+
+TEST(Check, UnreachableAlwaysFires) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  try {
+    CELLREL_UNREACHABLE() << "fell off the state machine";
+    FAIL() << "unreachable did not fire";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("CELLREL_UNREACHABLE"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("fell off the state machine"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, DcheckMatchesBuildMode) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  bool condition_evaluated = false;
+  auto probe = [&] {
+    condition_evaluated = true;
+    return false;
+  };
+  if (CELLREL_DCHECK_IS_ON()) {
+    // Debug (or CELLREL_DCHECK_ALWAYS_ON): same semantics as CELLREL_CHECK.
+    EXPECT_THROW(CELLREL_DCHECK(probe()) << "debug-only", ContractViolation);
+    EXPECT_TRUE(condition_evaluated);
+  } else {
+    // Release: compiled out — the condition must not even be evaluated.
+    CELLREL_DCHECK(probe()) << "never reached";
+    EXPECT_FALSE(condition_evaluated);
+  }
+}
+
+TEST(Check, MacrosAreUsableAsUnbracedStatements) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  // Compiles without dangling-else ambiguity and picks the right branch.
+  bool threw = false;
+  if (1 == 2)
+    CELLREL_CHECK(false) << "wrong branch";
+  else
+    threw = false;
+  EXPECT_FALSE(threw);
+  if (1 == 1)
+    CELLREL_CHECK_OP(1, ==, 1);
+  else
+    CELLREL_UNREACHABLE();
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -29,7 +29,9 @@ TEST(PhoneModel, Exactly4FiveGModels) {
 TEST(PhoneModel, FiveGImpliesAndroid10) {
   // Android 9 does not support 5G (§3.2 footnote).
   for (const auto& m : phone_models()) {
-    if (m.has_5g) EXPECT_EQ(m.android, AndroidVersion::kAndroid10) << m.model_id;
+    if (m.has_5g) {
+      EXPECT_EQ(m.android, AndroidVersion::kAndroid10) << m.model_id;
+    }
   }
 }
 

@@ -1,0 +1,6 @@
+#include "common/util.h"
+namespace fixture {
+// The string below must not trip the checker either: "std::rand()".
+const char* kNote = "std::rand() and new are fine inside string literals";
+int run() { return add(1, 2); }
+}  // namespace fixture

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_BS_B_H
+#define FIXTURE_BS_B_H
+#include "radio/a.h"
+#endif

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_RADIO_A_H
+#define FIXTURE_RADIO_A_H
+#include "bs/b.h"
+#endif

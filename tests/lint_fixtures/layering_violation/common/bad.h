@@ -1,0 +1,5 @@
+// Layer-0 module reaching up into layer 2: cellrel-lint must reject this.
+#ifndef FIXTURE_COMMON_BAD_H
+#define FIXTURE_COMMON_BAD_H
+#include "telephony/api.h"
+#endif

@@ -1,0 +1,4 @@
+#ifndef FIXTURE_TELEPHONY_API_H
+#define FIXTURE_TELEPHONY_API_H
+namespace fixture { int api(); }
+#endif

@@ -1,0 +1,5 @@
+namespace fixture {
+struct Phone { int id; };
+Phone* make_phone() { return new Phone{1}; }
+void drop_phone(Phone* p) { delete p; }
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#include <chrono>
+namespace fixture {
+// Wall-clock time in simulation code: banned.
+long now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace fixture

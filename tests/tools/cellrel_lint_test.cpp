@@ -1,0 +1,137 @@
+// cellrel-lint rule tests, driven against the fixture trees in
+// tests/lint_fixtures and against inline sources.
+
+#include "lint/cellrel_lint.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef CELLREL_LINT_FIXTURE_DIR
+#error "CELLREL_LINT_FIXTURE_DIR must point at tests/lint_fixtures"
+#endif
+
+namespace cellrel::lint {
+namespace {
+
+const std::filesystem::path kFixtures = CELLREL_LINT_FIXTURE_DIR;
+
+bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [&](const Violation& v) { return v.rule == rule; });
+}
+
+TEST(CellrelLint, CleanModulePasses) {
+  const auto violations = lint_tree(kFixtures / "clean");
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " unexpected violation(s), first: "
+      << (violations.empty() ? "" : violations[0].file + ": " + violations[0].message);
+}
+
+TEST(CellrelLint, LayeringViolationDetected) {
+  const auto violations = lint_tree(kFixtures / "layering_violation");
+  ASSERT_TRUE(has_rule(violations, "layering"));
+  const auto it = std::find_if(violations.begin(), violations.end(),
+                               [](const Violation& v) { return v.rule == "layering"; });
+  EXPECT_EQ(it->file, "common/bad.h");
+  EXPECT_EQ(it->line, 4u);
+  EXPECT_NE(it->message.find("telephony"), std::string::npos);
+}
+
+TEST(CellrelLint, SystemClockBanDetected) {
+  const auto violations = lint_tree(kFixtures / "nondeterminism");
+  ASSERT_TRUE(has_rule(violations, "nondeterminism"));
+  const auto it = std::find_if(violations.begin(), violations.end(), [](const Violation& v) {
+    return v.rule == "nondeterminism";
+  });
+  EXPECT_EQ(it->file, "sim/clock.cpp");
+  EXPECT_NE(it->message.find("system_clock"), std::string::npos);
+}
+
+TEST(CellrelLint, NakedNewAndDeleteDetected) {
+  const auto violations = lint_tree(kFixtures / "naked_new");
+  EXPECT_EQ(std::count_if(violations.begin(), violations.end(),
+                          [](const Violation& v) { return v.rule == "naked-new"; }),
+            2);
+}
+
+TEST(CellrelLint, ModuleCycleDetected) {
+  const auto violations = lint_tree(kFixtures / "cycle");
+  ASSERT_TRUE(has_rule(violations, "module-cycle"));
+}
+
+TEST(CellrelLint, RealSourceTreeIsClean) {
+  // tests/tools/../../src — the actual project sources must stay clean; this
+  // duplicates the cellrel_lint.src_tree ctest inside the unit suite so a
+  // violation shows up in both places.
+  const auto violations = lint_tree(kFixtures / ".." / ".." / "src");
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule << "] " << v.message;
+  }
+}
+
+TEST(CellrelLint, CommentsAndStringsAreExempt) {
+  const std::string source =
+      "// std::rand() in a comment\n"
+      "/* system_clock in a block comment\n"
+      "   spanning lines */\n"
+      "const char* s = \"new delete std::rand()\";\n"
+      "int x = 0;\n";
+  const auto violations = lint_source(source, "sim", "sim/f.cpp", default_layers());
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(CellrelLint, DeletedSpecialMembersAreExempt) {
+  const std::string source =
+      "struct A {\n"
+      "  A(const A&) = delete;\n"
+      "  A& operator=(const A&) = delete;\n"
+      "};\n";
+  const auto violations = lint_source(source, "common", "common/a.h", default_layers());
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(CellrelLint, RngImplementationIsExemptFromRandomBans) {
+  const std::string source = "#include <random>\nstd::random_device rd;\n";
+  EXPECT_TRUE(lint_source(source, "common", "common/rng.cpp", default_layers()).empty());
+  EXPECT_TRUE(has_rule(lint_source(source, "common", "common/other.cpp", default_layers()),
+                       "nondeterminism"));
+}
+
+TEST(CellrelLint, DownwardAndSameLayerIncludesAllowed) {
+  const std::string source =
+      "#include \"common/check.h\"\n"
+      "#include \"sim/event_queue.h\"\n"
+      "#include \"radio/modem.h\"\n";
+  // telephony (layer 2) may include layers 0 and 1.
+  EXPECT_TRUE(lint_source(source, "telephony", "telephony/x.h", default_layers()).empty());
+  // sim (layer 0) may NOT include radio (layer 1).
+  EXPECT_TRUE(has_rule(lint_source(source, "sim", "sim/x.h", default_layers()), "layering"));
+}
+
+TEST(CellrelLint, UnknownIncludeModuleFlagged) {
+  const std::string source = "#include \"vendor/blob.h\"\n";
+  EXPECT_TRUE(has_rule(lint_source(source, "common", "common/x.h", default_layers()),
+                       "unknown-module"));
+}
+
+TEST(CellrelLint, IdentifierBoundariesRespected) {
+  // Identifiers merely containing banned tokens must not trip the scanner.
+  const std::string source =
+      "int renewal = 0;\n"
+      "int new_count = renewal;\n"
+      "void undelete_all();\n"
+      "int mysrand_seed = 3;\n";
+  const auto violations = lint_source(source, "common", "common/ok.h", default_layers());
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(CellrelLint, MissingDirectoryReportsIoError) {
+  const auto violations = lint_tree(kFixtures / "does_not_exist");
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].rule, "io-error");
+}
+
+}  // namespace
+}  // namespace cellrel::lint

@@ -1,0 +1,45 @@
+// cellrel-lint CLI: layering, determinism, and ownership checks for the
+// cellrel source tree. Registered as a ctest so tier-1 fails on violations.
+//
+//   cellrel_lint <src-root> [<src-root>...]
+//
+// Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+#include <cstdio>
+#include <string>
+
+#include "lint/cellrel_lint.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <src-root> [<src-root>...]\n"
+                 "Checks module layering, determinism bans, and naked new/delete.\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::size_t total = 0;
+  bool io_error = false;
+  for (int i = 1; i < argc; ++i) {
+    const auto violations = cellrel::lint::lint_tree(argv[i]);
+    for (const auto& v : violations) {
+      if (v.rule == "io-error") io_error = true;
+      const std::string where =
+          v.file.empty() ? std::string(argv[i])
+                         : std::string(argv[i]) + "/" + v.file + ":" +
+                               std::to_string(v.line);
+      std::fprintf(stderr, "%s: [%s] %s\n", where.c_str(), v.rule.c_str(),
+                   v.message.c_str());
+    }
+    total += violations.size();
+  }
+
+  if (io_error) return 2;
+  if (total > 0) {
+    std::fprintf(stderr, "cellrel-lint: %zu violation(s) found\n", total);
+    return 1;
+  }
+  std::puts("cellrel-lint: clean");
+  return 0;
+}

@@ -1,0 +1,321 @@
+#include "lint/cellrel_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace cellrel::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True if `token` occurs in `line` delimited by non-identifier characters.
+bool contains_token(const std::string& line, const std::string& token,
+                    std::size_t* pos_out = nullptr) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    // Tokens ending in '(' or ':' delimit themselves on the right.
+    const bool right_ok = end >= line.size() || !is_ident_char(token.back()) ||
+                          !is_ident_char(line[end]);
+    if (left_ok && right_ok) {
+      if (pos_out) *pos_out = pos;
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+/// Nondeterminism primitives banned outside common/rng. Matched after
+/// comment/string stripping, on identifier boundaries.
+const std::vector<std::pair<std::string, std::string>>& banned_nondeterminism() {
+  static const std::vector<std::pair<std::string, std::string>> kBans = {
+      {"std::rand", "use cellrel::Rng instead of std::rand"},
+      {"srand", "use a seeded cellrel::Rng stream instead of srand"},
+      {"system_clock", "simulation code must use SimTime, not wall-clock time"},
+      {"steady_clock", "simulation code must use SimTime, not wall-clock time"},
+      {"high_resolution_clock", "simulation code must use SimTime, not wall-clock time"},
+      {"time(nullptr)", "wall-clock seeding breaks reproducibility"},
+      {"time(NULL)", "wall-clock seeding breaks reproducibility"},
+      {"gettimeofday", "simulation code must use SimTime, not wall-clock time"},
+      {"clock_gettime", "simulation code must use SimTime, not wall-clock time"},
+      {"random_device", "unseeded entropy breaks reproducibility; seed a cellrel::Rng"},
+  };
+  return kBans;
+}
+
+std::string module_of_include(const std::string& include_path) {
+  const auto slash = include_path.find('/');
+  if (slash == std::string::npos) return "";
+  return include_path.substr(0, slash);
+}
+
+/// Whitespace-insensitive scan backwards for the previous non-space char.
+char prev_nonspace(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(text[pos]))) return text[pos];
+  }
+  return '\0';
+}
+
+}  // namespace
+
+const std::map<std::string, int>& default_layers() {
+  static const std::map<std::string, int> kLayers = {
+      {"common", 0}, {"sim", 0},
+      {"radio", 1},  {"bs", 1},   {"device", 1}, {"net", 1},
+      {"telephony", 2}, {"core", 2},
+      {"workload", 3},  {"timp", 3}, {"analysis", 3},
+  };
+  return kLayers;
+}
+
+std::string strip_comments_and_strings(const std::string& source) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+          out += "  ";
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+          out += "  ";
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;  // unterminated; keep line structure
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;
+          state = State::kCode;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> lint_source(const std::string& source, const std::string& module,
+                                   const std::string& relative_path,
+                                   const std::map<std::string, int>& layers) {
+  std::vector<Violation> out;
+  const auto layer_it = layers.find(module);
+  if (layer_it == layers.end()) {
+    out.push_back({relative_path, 0, "unknown-module",
+                   "file is not inside a known module directory (" + module + ")"});
+    return out;
+  }
+  const int my_rank = layer_it->second;
+  // The project's seeded randomness lives in common/rng; everything else
+  // must route through it.
+  const bool is_rng_impl = module == "common" &&
+                           relative_path.find("rng.") != std::string::npos;
+
+  const std::string stripped = strip_comments_and_strings(source);
+  // The include scan runs on the raw source: include paths are string
+  // literals, which the stripper blanks out.
+  std::istringstream raw_lines(source);
+  std::istringstream code_lines(stripped);
+  std::string raw, code;
+  std::size_t lineno = 0;
+  while (std::getline(raw_lines, raw)) {
+    ++lineno;
+    if (!std::getline(code_lines, code)) code.clear();
+
+    // --- rule: layering -------------------------------------------------
+    std::size_t pos = raw.find_first_not_of(" \t");
+    if (pos != std::string::npos && raw[pos] == '#') {
+      const auto open = raw.find('"');
+      const auto close = open == std::string::npos ? std::string::npos
+                                                   : raw.find('"', open + 1);
+      if (raw.find("include", pos) != std::string::npos &&
+          close != std::string::npos) {
+        const std::string target = raw.substr(open + 1, close - open - 1);
+        const std::string dep = module_of_include(target);
+        if (!dep.empty() && dep != module) {
+          const auto dep_it = layers.find(dep);
+          if (dep_it == layers.end()) {
+            out.push_back({relative_path, lineno, "unknown-module",
+                           "include of unknown module '" + dep + "' (" + target + ")"});
+          } else if (dep_it->second > my_rank) {
+            out.push_back(
+                {relative_path, lineno, "layering",
+                 "module '" + module + "' (layer " + std::to_string(my_rank) +
+                     ") must not include '" + target + "' from '" + dep +
+                     "' (layer " + std::to_string(dep_it->second) + ")"});
+          }
+        }
+      }
+    }
+
+    // --- rule: nondeterminism ------------------------------------------
+    if (!is_rng_impl) {
+      for (const auto& [token, why] : banned_nondeterminism()) {
+        if (contains_token(code, token)) {
+          out.push_back({relative_path, lineno, "nondeterminism",
+                         "'" + token + "' is banned in simulation code: " + why});
+        }
+      }
+    }
+
+    // --- rule: naked-new ------------------------------------------------
+    std::size_t tok_pos = 0;
+    if (contains_token(code, "new", &tok_pos)) {
+      out.push_back({relative_path, lineno, "naked-new",
+                     "naked 'new' expression; use std::make_unique/make_shared "
+                     "or a container"});
+    }
+    if (contains_token(code, "delete", &tok_pos)) {
+      // `= delete` (deleted special member functions) is fine.
+      if (prev_nonspace(code, tok_pos) != '=') {
+        out.push_back({relative_path, lineno, "naked-new",
+                       "naked 'delete' expression; owning raw pointers are banned"});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> lint_tree(const std::filesystem::path& src_root,
+                                 const std::map<std::string, int>& layers) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  if (!fs::is_directory(src_root)) {
+    out.push_back({"", 0, "io-error", "not a directory: " + src_root.string()});
+    return out;
+  }
+
+  static const std::set<std::string> kExtensions = {".h", ".hpp", ".cpp", ".cc"};
+  // module -> set of distinct known modules it includes (for the cycle check)
+  std::map<std::string, std::set<std::string>> module_edges;
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    if (!kExtensions.count(entry.path().extension().string())) continue;
+    files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& path : files) {
+    const fs::path rel = fs::relative(path, src_root);
+    const std::string rel_str = rel.generic_string();
+    const std::string module =
+        rel.has_parent_path() ? rel.begin()->string() : std::string();
+
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      out.push_back({rel_str, 0, "io-error", "cannot read file"});
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    auto file_violations = lint_source(source, module, rel_str, layers);
+    out.insert(out.end(), file_violations.begin(), file_violations.end());
+
+    // Record edges for the cycle check (only between known modules).
+    if (layers.count(module)) {
+      std::istringstream lines(source);
+      std::string line;
+      while (std::getline(lines, line)) {
+        const auto pos = line.find_first_not_of(" \t");
+        if (pos == std::string::npos || line[pos] != '#') continue;
+        if (line.find("include", pos) == std::string::npos) continue;
+        const auto open = line.find('"');
+        const auto close =
+            open == std::string::npos ? std::string::npos : line.find('"', open + 1);
+        if (close == std::string::npos) continue;
+        const std::string dep = module_of_include(line.substr(open + 1, close - open - 1));
+        if (!dep.empty() && dep != module && layers.count(dep)) {
+          module_edges[module].insert(dep);
+        }
+      }
+    }
+  }
+
+  // --- rule: module-cycle (DFS with colors) ------------------------------
+  std::map<std::string, int> color;  // 0 = white, 1 = grey, 2 = black
+  std::vector<std::string> stack;
+  auto dfs = [&](auto&& self, const std::string& m) -> void {
+    color[m] = 1;
+    stack.push_back(m);
+    for (const auto& dep : module_edges[m]) {
+      if (color[dep] == 1) {
+        std::string cycle;
+        auto it = std::find(stack.begin(), stack.end(), dep);
+        for (; it != stack.end(); ++it) cycle += *it + " -> ";
+        cycle += dep;
+        out.push_back({"", 0, "module-cycle", "module dependency cycle: " + cycle});
+      } else if (color[dep] == 0) {
+        self(self, dep);
+      }
+    }
+    stack.pop_back();
+    color[m] = 2;
+  };
+  for (const auto& [m, _] : module_edges) {
+    if (color[m] == 0) dfs(dfs, m);
+  }
+
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    return a.line < b.line;
+  });
+  return out;
+}
+
+}  // namespace cellrel::lint

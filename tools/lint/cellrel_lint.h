@@ -1,0 +1,62 @@
+// cellrel-lint: the project's in-tree static checker.
+//
+// Walks a source tree (normally src/), parses the quoted #include graph, and
+// enforces three rule families:
+//
+//  1. layering      — modules may only include same-or-lower layers, and the
+//                     module graph must stay acyclic:
+//                        layer 0: common, sim
+//                        layer 1: radio, bs, device, net
+//                        layer 2: telephony, core
+//                        layer 3: workload, timp, analysis
+//  2. nondeterminism — wall-clock and unseeded-randomness primitives
+//                     (std::rand, srand, system_clock, time(nullptr),
+//                     std::random_device, ...) are banned everywhere except
+//                     common/rng, which owns the project's seeded streams.
+//                     Simulation output must be a pure function of the seed.
+//  3. naked-new     — `new` / `delete` expressions are banned; ownership goes
+//                     through containers and smart pointers.
+//
+// The library half is separated from main() so the rules are unit-testable
+// against fixture trees (tests/lint_fixtures).
+
+#ifndef CELLREL_TOOLS_LINT_CELLREL_LINT_H
+#define CELLREL_TOOLS_LINT_CELLREL_LINT_H
+
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cellrel::lint {
+
+struct Violation {
+  std::string file;     // path relative to the scanned root
+  std::size_t line = 0; // 1-based; 0 for tree-level findings (cycles)
+  std::string rule;     // "layering" | "nondeterminism" | "naked-new" |
+                        // "unknown-module" | "module-cycle" | "io-error"
+  std::string message;
+};
+
+/// Module name -> layer rank for the cellrel source tree.
+const std::map<std::string, int>& default_layers();
+
+/// Removes // and /* */ comments and blanks out string/char literal bodies,
+/// preserving line structure so reported line numbers stay correct.
+std::string strip_comments_and_strings(const std::string& source);
+
+/// Lints a single file's contents as `module` (pass the tree-relative path
+/// for reporting). Covers includes, nondeterminism, and naked new/delete;
+/// the cross-file cycle check only happens in lint_tree().
+std::vector<Violation> lint_source(const std::string& source, const std::string& module,
+                                   const std::string& relative_path,
+                                   const std::map<std::string, int>& layers);
+
+/// Walks `src_root` recursively (*.h, *.hpp, *.cpp, *.cc) and returns every
+/// violation, sorted by file then line.
+std::vector<Violation> lint_tree(const std::filesystem::path& src_root,
+                                 const std::map<std::string, int>& layers = default_layers());
+
+}  // namespace cellrel::lint
+
+#endif  // CELLREL_TOOLS_LINT_CELLREL_LINT_H
