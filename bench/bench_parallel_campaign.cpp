@@ -1,0 +1,143 @@
+// Parallel campaign speedup curve: runs the same campaign at 1/2/4/8
+// threads, times each run, verifies the threaded datasets are identical to
+// the sequential baseline, and writes BENCH_parallel_campaign.json.
+//
+// Extra knobs (on top of bench_common.h's):
+//   CELLREL_BENCH_THREADS  comma-free max thread count to sweep to (default 8;
+//                          the sweep is 1,2,4,... doubling up to this value)
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using cellrel::Campaign;
+using cellrel::CampaignResult;
+using cellrel::Scenario;
+using cellrel::TraceRecord;
+
+/// Cheap order-sensitive fingerprint over everything the merge concatenates
+/// or sums; any reordering or drift versus the baseline changes it.
+std::uint64_t fingerprint(const CampaignResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  for (const TraceRecord& rec : r.dataset.records) {
+    mix(rec.device);
+    mix(static_cast<std::uint64_t>(rec.at.since_origin().count_us()));
+    mix(static_cast<std::uint64_t>(rec.duration.count_us()));
+    mix(static_cast<std::uint64_t>(rec.type));
+    mix(rec.bs);
+  }
+  for (const auto& bs : r.dataset.base_stations) mix(bs.failure_count);
+  for (const auto& row : r.dataset.connected_time.seconds) {
+    for (const double s : row) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(s));
+      std::memcpy(&bits, &s, sizeof(bits));
+      mix(bits);  // bit pattern, not value: exact-equality contract
+    }
+  }
+  mix(r.dataset.transitions.size());
+  mix(r.dataset.dwells.size());
+  mix(r.recovery_episodes.size());
+  mix(r.simulated_events);
+  mix(r.episodes_run);
+  return h;
+}
+
+struct Sample {
+  std::uint32_t threads = 1;
+  double seconds = 0.0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  using cellrel::bench::bench_scenario;
+  using cellrel::bench::env_u64;
+  using cellrel::bench::print_header;
+
+  // Scenario::threads must be authoritative for the sweep.
+  ::unsetenv("CELLREL_THREADS");
+
+  print_header("parallel_campaign",
+               "sharded executor speedup + bit-identity check");
+
+  Scenario sc = bench_scenario("parallel_campaign");
+  const std::uint32_t max_threads =
+      static_cast<std::uint32_t>(env_u64("CELLREL_BENCH_THREADS", 8));
+  const std::size_t hardware = cellrel::ThreadPool::hardware_threads();
+  std::printf("[campaign: %u devices, %u BSes, seed %llu, hardware threads %zu]\n\n",
+              sc.device_count, sc.deployment.bs_count,
+              static_cast<unsigned long long>(sc.seed), hardware);
+
+  auto timed_run = [&sc](std::uint32_t threads, std::uint64_t* out_fp) {
+    Scenario run_sc = sc;
+    run_sc.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    const CampaignResult result = Campaign(run_sc).run();
+    const auto stop = std::chrono::steady_clock::now();
+    *out_fp = fingerprint(result);
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  std::uint64_t baseline_fp = 0;
+  const double baseline_seconds = timed_run(1, &baseline_fp);
+  std::printf("%8s  %10s  %8s  %s\n", "threads", "seconds", "speedup", "identical");
+  std::printf("%8u  %10.3f  %8.2f  %s\n", 1u, baseline_seconds, 1.0, "yes (baseline)");
+
+  std::vector<Sample> samples;
+  samples.push_back({1, baseline_seconds, true});
+  for (std::uint32_t threads = 2; threads <= max_threads; threads *= 2) {
+    std::uint64_t fp = 0;
+    const double seconds = timed_run(threads, &fp);
+    const bool identical = fp == baseline_fp;
+    samples.push_back({threads, seconds, identical});
+    std::printf("%8u  %10.3f  %8.2f  %s\n", threads, seconds,
+                baseline_seconds / seconds, identical ? "yes" : "NO — BUG");
+  }
+
+  const char* path = "BENCH_parallel_campaign.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"devices\": %u,\n"
+               "  \"bs_count\": %u,\n"
+               "  \"seed\": %llu,\n"
+               "  \"hardware_threads\": %zu,\n"
+               "  \"baseline_seconds\": %.6f,\n"
+               "  \"series\": [\n",
+               sc.device_count, sc.deployment.bs_count,
+               static_cast<unsigned long long>(sc.seed), hardware, baseline_seconds);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"threads\": %u, \"seconds\": %.6f, \"speedup\": %.4f, "
+                 "\"identical\": %s}%s\n",
+                 samples[i].threads, samples[i].seconds,
+                 baseline_seconds / samples[i].seconds,
+                 samples[i].identical ? "true" : "false",
+                 i + 1 < samples.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+
+  bool all_identical = true;
+  for (const Sample& s : samples) all_identical = all_identical && s.identical;
+  return all_identical ? 0 : 1;
+}

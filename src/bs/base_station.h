@@ -92,8 +92,13 @@ class BaseStation {
   ChannelConditions channel_conditions(Rat rat, SignalLevel level,
                                        double base_failure_prob) const;
 
-  // Mutable counters used by the landscape analysis.
+  // Mutable counters used by the landscape analysis. During a campaign,
+  // device shards never touch these directly: each shard accumulates a
+  // failure delta that the campaign applies after the join (see
+  // BsRegistry::apply_failure_deltas), keeping the simulation phase
+  // free of shared-counter writes.
   void record_failure() { ++failure_count_; }
+  void add_failures(std::uint64_t n) { failure_count_ += n; }
   std::uint64_t failure_count() const { return failure_count_; }
 
  private:

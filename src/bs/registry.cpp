@@ -144,6 +144,14 @@ std::vector<CellCandidate> BsRegistry::enumerate_candidates(BsIndex bs_index,
   return out;
 }
 
+void BsRegistry::apply_failure_delta(std::span<const BsIndex> failed_bs) {
+  for (const BsIndex idx : failed_bs) {
+    CELLREL_CHECK_OP(static_cast<std::size_t>(idx), <, stations_.size())
+        << "failure delta names a BS outside the registry";
+    stations_[idx].record_failure();
+  }
+}
+
 std::vector<std::uint64_t> BsRegistry::failure_counts() const {
   std::vector<std::uint64_t> counts;
   counts.reserve(stations_.size());

@@ -49,6 +49,12 @@ class BsRegistry {
   /// Per-BS failure totals, index-aligned with the registry.
   std::vector<std::uint64_t> failure_counts() const;
 
+  /// Applies one shard's ground-truth failure delta: one entry per kept
+  /// failure, naming the BS it occurred on. Called from the merge phase
+  /// only (single-threaded), so counter updates never race; integer
+  /// addition makes the totals independent of application order.
+  void apply_failure_delta(std::span<const BsIndex> failed_bs);
+
  private:
   std::vector<BaseStation> stations_;
   // Buckets of BS indices keyed by (isp, location class) for O(1) selection.

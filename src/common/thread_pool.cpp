@@ -1,0 +1,74 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cellrel {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  const std::size_t n = std::max<std::size_t>(1, thread_count);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  CELLREL_CHECK(task != nullptr) << "ThreadPool::submit requires a callable task";
+  std::packaged_task<void()> packaged(std::move(task));
+  std::future<void> result = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CELLREL_CHECK(!stopping_) << "ThreadPool::submit after shutdown began";
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return result;
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+std::size_t shard_count_for(std::size_t total, std::size_t items_per_shard) {
+  const std::size_t granularity = std::max<std::size_t>(1, items_per_shard);
+  return std::max<std::size_t>(1, (total + granularity - 1) / granularity);
+}
+
+ShardRange shard_range(std::size_t total, std::size_t shard_count, std::size_t shard) {
+  CELLREL_CHECK_OP(shard_count, >, static_cast<std::size_t>(0));
+  CELLREL_CHECK_OP(shard, <, shard_count);
+  const std::size_t base = total / shard_count;
+  const std::size_t remainder = total % shard_count;
+  const std::size_t begin = shard * base + std::min(shard, remainder);
+  const std::size_t size = base + (shard < remainder ? 1 : 0);
+  return {begin, begin + size};
+}
+
+}  // namespace cellrel

@@ -1,0 +1,81 @@
+// Fixed-size FIFO thread pool + deterministic sharding helpers.
+//
+// This is the only place in src/ where threading primitives are permitted
+// (enforced by cellrel-lint's "threading" rule): all parallelism in the
+// simulator is expressed as shard tasks submitted here, and every shard
+// writes exclusively to its own result slot. Determinism therefore never
+// depends on scheduling — workers may finish in any order, but results are
+// merged in shard-index order, which is a pure function of the scenario.
+//
+// The sharding helpers live here (rather than in the campaign) so other
+// fleet-scale workloads can reuse the same partition-and-merge discipline.
+
+#ifndef CELLREL_COMMON_THREAD_POOL_H
+#define CELLREL_COMMON_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cellrel {
+
+/// A fixed-size pool executing submitted tasks in FIFO order. Tasks still
+/// queued at destruction time are drained (run to completion), so joining
+/// the pool is always equivalent to having run every submitted task.
+class ThreadPool {
+ public:
+  /// Spawns `thread_count` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t thread_count);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task`. The returned future becomes ready when the task has
+  /// run; an exception thrown by the task is captured and rethrown from
+  /// future::get() — the caller's join loop is the propagation point.
+  std::future<void> submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency(), never 0 (falls back to 1).
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// One contiguous half-open range of a deterministic partition.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::size_t size() const { return end - begin; }
+};
+
+/// Number of shards for `total` items at `items_per_shard` granularity
+/// (at least 1). A pure function of the workload — never of thread count —
+/// so the partition, and therefore the merge order, is identical whether
+/// the shards run on 1 thread or 64.
+std::size_t shard_count_for(std::size_t total, std::size_t items_per_shard);
+
+/// The `shard`-th range of the partition of [0, total) into `shard_count`
+/// contiguous, balanced ranges (sizes differ by at most 1; earlier shards
+/// take the remainder). Requires shard < shard_count.
+ShardRange shard_range(std::size_t total, std::size_t shard_count, std::size_t shard);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_COMMON_THREAD_POOL_H

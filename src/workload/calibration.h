@@ -11,9 +11,11 @@
 #define CELLREL_WORKLOAD_CALIBRATION_H
 
 #include <array>
+#include <span>
 
 #include "bs/isp.h"
 #include "common/piecewise.h"
+#include "device/device.h"
 #include "telephony/rat_policy.h"
 
 namespace cellrel {
@@ -142,6 +144,16 @@ struct Calibration {
 
 /// The default calibration (paper values).
 const Calibration& default_calibration();
+
+/// Expected number of trace records `profile` will upload over a campaign
+/// under `cal`: the calibrated per-device event target (prevalence-weighted)
+/// plus the false-positive and legacy extras that ride along. Used to size
+/// dataset reservations; an estimate, not a bound.
+double expected_device_records(const Calibration& cal, const DeviceProfile& profile);
+
+/// Sum of expected_device_records over `fleet` — the campaign's reservation
+/// size for TraceDataset::records (replaces the old device_count/2 guess).
+double expected_fleet_records(const Calibration& cal, std::span<const DeviceProfile> fleet);
 
 }  // namespace cellrel
 

@@ -3,11 +3,170 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <iterator>
 #include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace cellrel {
 
 namespace {
+
+/// Devices per shard task. A pure constant (never derived from the thread
+/// count), so the partition — and with it the merge order and every
+/// floating-point summation order — is identical whether shards run
+/// sequentially or on a pool. Small enough to load-balance the heavy-tailed
+/// per-device cost (failing devices dominate), large enough that task
+/// dispatch overhead is negligible.
+constexpr std::size_t kDevicesPerShard = 64;
+
+/// Accumulated overhead sums for one shard. Averages are computed once at
+/// merge time from the merged sums; the old incremental (avg*n + x)/(n+1)
+/// update was order-dependent and drifted at large fleets.
+struct OverheadAccum {
+  double cpu_sum = 0.0;
+  double worst_cpu = 0.0;
+  std::uint64_t peak_memory_sum = 0;
+  std::uint64_t worst_peak_memory = 0;
+  std::uint64_t storage_sum = 0;
+  std::uint64_t worst_storage = 0;
+  std::uint64_t cellular_sum = 0;
+  std::uint64_t worst_cellular = 0;
+  std::uint64_t wifi_upload_sum = 0;
+  std::uint64_t monitored_devices = 0;
+
+  void add_device(const OverheadAccountant& oh) {
+    const double cpu = oh.cpu_utilization_during_failures();
+    cpu_sum += cpu;
+    worst_cpu = std::max(worst_cpu, cpu);
+    peak_memory_sum += oh.peak_memory_bytes();
+    worst_peak_memory = std::max(worst_peak_memory, oh.peak_memory_bytes());
+    storage_sum += oh.storage_bytes();
+    worst_storage = std::max(worst_storage, oh.storage_bytes());
+    cellular_sum += oh.cellular_bytes();
+    worst_cellular = std::max(worst_cellular, oh.cellular_bytes());
+    wifi_upload_sum += oh.wifi_upload_bytes();
+    ++monitored_devices;
+  }
+
+  void merge(const OverheadAccum& o) {
+    cpu_sum += o.cpu_sum;
+    worst_cpu = std::max(worst_cpu, o.worst_cpu);
+    peak_memory_sum += o.peak_memory_sum;
+    worst_peak_memory = std::max(worst_peak_memory, o.worst_peak_memory);
+    storage_sum += o.storage_sum;
+    worst_storage = std::max(worst_storage, o.worst_storage);
+    cellular_sum += o.cellular_sum;
+    worst_cellular = std::max(worst_cellular, o.worst_cellular);
+    wifi_upload_sum += o.wifi_upload_sum;
+    monitored_devices += o.monitored_devices;
+  }
+
+  OverheadSummary finalize() const {
+    OverheadSummary s;
+    s.monitored_devices = monitored_devices;
+    s.worst_cpu_utilization = worst_cpu;
+    s.worst_peak_memory_bytes = worst_peak_memory;
+    s.worst_storage_bytes = worst_storage;
+    s.worst_cellular_bytes = worst_cellular;
+    if (monitored_devices == 0) return s;
+    s.avg_cpu_utilization = cpu_sum / static_cast<double>(monitored_devices);
+    s.avg_peak_memory_bytes = peak_memory_sum / monitored_devices;
+    s.avg_storage_bytes = storage_sum / monitored_devices;
+    s.avg_cellular_bytes = cellular_sum / monitored_devices;
+    s.avg_wifi_upload_bytes = wifi_upload_sum / monitored_devices;
+    return s;
+  }
+};
+
+/// Everything one shard of devices produces. Exactly one worker writes to a
+/// given ShardResult; the campaign merges them in shard-index order after
+/// the join.
+struct ShardResult {
+  TraceDataset dataset;
+  std::vector<RecoveryEpisode> recovery_episodes;
+  OverheadAccum overhead;
+  /// Ground-truth BS failure delta: one entry per kept failure. Applied to
+  /// the registry at merge time instead of mutating shared counters from
+  /// device code.
+  std::vector<BsIndex> bs_failures;
+  std::uint64_t simulated_events = 0;
+  std::uint64_t episodes_run = 0;
+};
+
+template <typename T>
+void move_append(std::vector<T>& into, std::vector<T>&& from) {
+  into.insert(into.end(), std::make_move_iterator(from.begin()),
+              std::make_move_iterator(from.end()));
+  from.clear();
+}
+
+/// Order-canonical reduction of the shard results into one CampaignResult.
+/// Runs single-threaded after the join; the iteration order (shard index,
+/// then device order within the shard) equals sequential execution order,
+/// so every concatenation and floating-point sum is bit-identical to the
+/// threads=1 run.
+CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult>&& shards) {
+  CampaignResult result;
+
+  std::size_t records = 0, transitions = 0, dwells = 0, devices = 0, episodes = 0;
+  for (const ShardResult& s : shards) {
+    records += s.dataset.records.size();
+    transitions += s.dataset.transitions.size();
+    dwells += s.dataset.dwells.size();
+    devices += s.dataset.devices.size();
+    episodes += s.recovery_episodes.size();
+  }
+  result.dataset.records.reserve(records);
+  result.dataset.transitions.reserve(transitions);
+  result.dataset.dwells.reserve(dwells);
+  result.dataset.devices.reserve(devices);
+  result.recovery_episodes.reserve(episodes);
+
+  // Merge in shard-index order: shards hold contiguous device ranges in
+  // fleet order, so concatenation leaves devices and records stably ordered
+  // by device id — the same order the sequential executor produces.
+  OverheadAccum overhead;
+  for (ShardResult& s : shards) {
+    move_append(result.dataset.records, std::move(s.dataset.records));
+    move_append(result.dataset.devices, std::move(s.dataset.devices));
+    move_append(result.dataset.transitions, std::move(s.dataset.transitions));
+    move_append(result.dataset.dwells, std::move(s.dataset.dwells));
+    move_append(result.recovery_episodes, std::move(s.recovery_episodes));
+    for (std::size_t r = 0; r < kRatCount; ++r) {
+      for (std::size_t l = 0; l < kSignalLevelCount; ++l) {
+        result.dataset.connected_time.seconds[r][l] += s.dataset.connected_time.seconds[r][l];
+      }
+    }
+    overhead.merge(s.overhead);
+    result.simulated_events += s.simulated_events;
+    result.episodes_run += s.episodes_run;
+    registry.apply_failure_delta(s.bs_failures);
+  }
+  result.overhead = overhead.finalize();
+
+  CELLREL_DCHECK(std::is_sorted(result.dataset.devices.begin(),
+                                result.dataset.devices.end(),
+                                [](const DeviceMeta& a, const DeviceMeta& b) {
+                                  return a.id < b.id;
+                                }))
+      << "shard merge must preserve device-id order";
+
+  // Snapshot the BS landscape (counters included) into the dataset.
+  result.dataset.base_stations.reserve(registry.size());
+  for (const BaseStation& bs : registry.all()) {
+    BsMeta meta;
+    meta.index = bs.index();
+    meta.isp = bs.isp();
+    meta.rat_mask = bs.rat_mask();
+    meta.location = bs.location();
+    meta.failure_count = bs.failure_count();
+    result.dataset.base_stations.push_back(meta);
+  }
+  return result;
+}
 
 /// Kinds of failure episodes a session can trigger.
 enum class EpisodeKind : std::uint8_t {
@@ -64,8 +223,8 @@ double context_hazard(const Calibration& cal, const BaseStation& bs, const CellC
 
 class Campaign::DeviceRun final : public FailureEventListener {
  public:
-  DeviceRun(const Scenario& scenario, BsRegistry& registry, const DeviceProfile& profile,
-            Rng rng, CampaignResult& out)
+  DeviceRun(const Scenario& scenario, const BsRegistry& registry,
+            const DeviceProfile& profile, Rng rng, ShardResult& out)
       : scenario_(scenario),
         cal_(scenario.calibration),
         registry_(registry),
@@ -111,10 +270,10 @@ class Campaign::DeviceRun final : public FailureEventListener {
 
   const Scenario& scenario_;
   const Calibration& cal_;
-  BsRegistry& registry_;
+  const BsRegistry& registry_;  // read-only during the run: shard safety
   const DeviceProfile& profile_;
   Rng rng_;
-  CampaignResult& out_;
+  ShardResult& out_;
 
   // Lazily built per failing device.
   std::unique_ptr<Simulator> sim_;
@@ -388,10 +547,11 @@ void Campaign::DeviceRun::clear_fault() {
 }
 
 void Campaign::DeviceRun::on_failure_event(const FailureEvent& event) {
-  // Ground-truth BS failure counters (kept failures only, as the backend
-  // counts them after filtering).
+  // Ground-truth BS failure delta (kept failures only, as the backend
+  // counts them after filtering). Recorded per shard and applied to the
+  // registry after the join; device code never writes shared counters.
   if (!is_false_positive(event.ground_truth_fp) && event.bs != kInvalidBs) {
-    registry_.at(event.bs).record_failure();
+    out_.bs_failures.push_back(event.bs);
   }
   if (event.type != FailureType::kDataStall || !stall_.open || stall_.detected) return;
   stall_.detected = true;
@@ -658,25 +818,9 @@ void Campaign::DeviceRun::execute() {
   mod_->shutdown();
   drive_until([&] { return sim_->pending_events() == 0; }, 500'000);
 
-  const OverheadAccountant& oh = mod_->monitor().overhead();
-  auto& sum = out_.overhead;
-  const double n = static_cast<double>(sum.monitored_devices);
-  sum.avg_cpu_utilization =
-      (sum.avg_cpu_utilization * n + oh.cpu_utilization_during_failures()) / (n + 1);
-  sum.worst_cpu_utilization =
-      std::max(sum.worst_cpu_utilization, oh.cpu_utilization_during_failures());
-  sum.avg_peak_memory_bytes = static_cast<std::uint64_t>(
-      (static_cast<double>(sum.avg_peak_memory_bytes) * n + static_cast<double>(oh.peak_memory_bytes())) / (n + 1));
-  sum.worst_peak_memory_bytes = std::max(sum.worst_peak_memory_bytes, oh.peak_memory_bytes());
-  sum.avg_storage_bytes = static_cast<std::uint64_t>(
-      (static_cast<double>(sum.avg_storage_bytes) * n + static_cast<double>(oh.storage_bytes())) / (n + 1));
-  sum.worst_storage_bytes = std::max(sum.worst_storage_bytes, oh.storage_bytes());
-  sum.avg_cellular_bytes = static_cast<std::uint64_t>(
-      (static_cast<double>(sum.avg_cellular_bytes) * n + static_cast<double>(oh.cellular_bytes())) / (n + 1));
-  sum.worst_cellular_bytes = std::max(sum.worst_cellular_bytes, oh.cellular_bytes());
-  sum.avg_wifi_upload_bytes = static_cast<std::uint64_t>(
-      (static_cast<double>(sum.avg_wifi_upload_bytes) * n + static_cast<double>(oh.wifi_upload_bytes())) / (n + 1));
-  ++sum.monitored_devices;
+  // Overhead: accumulate sums only; averages are computed once from the
+  // merged sums (order-canonical, no incremental float drift).
+  out_.overhead.add_device(mod_->monitor().overhead());
 }
 
 // ---------------------------------------------------------------------------
@@ -690,32 +834,57 @@ Campaign::Campaign(Scenario scenario)
 }
 
 CampaignResult Campaign::run() {
-  CampaignResult result;
-  result.dataset.records.reserve(scenario_.device_count / 2);
-  result.dataset.devices.reserve(scenario_.device_count);
-
   PopulationBuilder builder;
   Rng fleet_rng = master_rng_.fork(0xf1ee7ULL);
   const std::vector<DeviceProfile> fleet =
       builder.build(scenario_.device_count, fleet_rng);
 
-  for (const DeviceProfile& profile : fleet) {
-    DeviceRun run(scenario_, *registry_, profile, master_rng_.fork(profile.id), result);
-    run.execute();
+  // Partition the fleet into fixed-size contiguous shards. The partition is
+  // a pure function of the fleet (kDevicesPerShard is a constant), so the
+  // merge below — including the order of every floating-point summation —
+  // is identical for any thread count.
+  const std::size_t shard_count = shard_count_for(fleet.size(), kDevicesPerShard);
+  std::vector<ShardResult> shards(shard_count);
+
+  auto run_shard = [&](std::size_t s) {
+    const ShardRange range = shard_range(fleet.size(), shard_count, s);
+    ShardResult& out = shards[s];
+    out.dataset.devices.reserve(range.size());
+    double expected_records = 0.0;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      expected_records += expected_device_records(scenario_.calibration, fleet[i]);
+    }
+    out.dataset.records.reserve(static_cast<std::size_t>(expected_records * 1.25) + 16);
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      DeviceRun run(scenario_, *registry_, fleet[i], master_rng_.fork(fleet[i].id), out);
+      run.execute();
+    }
+  };
+
+  const std::uint32_t threads = resolved_thread_count(scenario_);
+  if (threads <= 1 || shard_count <= 1) {
+    for (std::size_t s = 0; s < shard_count; ++s) run_shard(s);
+  } else {
+    ThreadPool pool(std::min<std::size_t>(threads, shard_count));
+    std::vector<std::future<void>> pending;
+    pending.reserve(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      pending.push_back(pool.submit([&run_shard, s] { run_shard(s); }));
+    }
+    // Join; a shard that threw rethrows here, after every future is waited
+    // on, so no worker is left writing into a dead frame.
+    std::exception_ptr first_error;
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
   }
 
-  // Snapshot the BS landscape (counters included) into the dataset.
-  result.dataset.base_stations.reserve(registry_->size());
-  for (const BaseStation& bs : registry_->all()) {
-    BsMeta meta;
-    meta.index = bs.index();
-    meta.isp = bs.isp();
-    meta.rat_mask = bs.rat_mask();
-    meta.location = bs.location();
-    meta.failure_count = bs.failure_count();
-    result.dataset.base_stations.push_back(meta);
-  }
-  return result;
+  return merge_shard_results(*registry_, std::move(shards));
 }
 
 }  // namespace cellrel

@@ -1,14 +1,23 @@
 // Campaign driver: runs a fleet through the full stack and collects the
 // backend dataset.
 //
-// Devices are simulated one at a time (deterministically forked RNG per
-// device id), each with its own discrete-event simulator and Android-MOD
+// Each device is simulated independently (deterministically forked RNG per
+// device id) with its own discrete-event simulator and Android-MOD
 // instance. Failure-free devices (the 77% majority) contribute metadata,
 // connected time and dwell/transition samples only; failing devices run
 // every failure episode through the real telephony + monitoring machinery:
 // modem error codes, DcTracker retries, kernel TCP counters, stall
 // detection, three-stage recovery, probing, false-positive filtering,
 // WiFi-gated upload.
+//
+// Parallel execution (Scenario::threads): the fleet is partitioned into
+// fixed-size contiguous shards — a pure function of the fleet, never of the
+// thread count — and each shard writes only to its own ShardResult (own
+// TraceDataset, recovery episodes, overhead sums, and a BS failure *delta*
+// instead of mutating shared registry counters). After the join, shards are
+// merged in shard-index order and averages are computed once from merged
+// sums, so the result is bit-identical for every threads value. See
+// DESIGN.md, "Parallel campaign execution & determinism contract".
 //
 // Hazard normalization: per-session failure probabilities are shaped by the
 // session context (ISP, BS, signal level, RAT transition, policy) and

@@ -1,6 +1,21 @@
 #include "workload/scenario.h"
 
+#include <cstdlib>
+
+#include "common/thread_pool.h"
+
 namespace cellrel {
+
+std::uint32_t resolved_thread_count(const Scenario& scenario) {
+  std::uint32_t threads = scenario.threads;
+  if (const char* env = std::getenv("CELLREL_THREADS")) {
+    threads = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  if (threads == 0) {
+    threads = static_cast<std::uint32_t>(ThreadPool::hardware_threads());
+  }
+  return threads;
+}
 
 std::string_view to_string(PolicyVariant v) {
   switch (v) {

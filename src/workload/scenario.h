@@ -35,6 +35,13 @@ struct Scenario {
   std::uint32_t device_count = 20'000;
   double campaign_days = 240.0;  // Jan-Aug 2020
 
+  /// Worker threads for the sharded campaign executor. 1 = sequential
+  /// (the default), 0 = one per hardware thread. The CELLREL_THREADS
+  /// environment variable, when set, overrides this field (0 again meaning
+  /// hardware concurrency). The result is bit-identical for every value:
+  /// shard partition and merge order depend only on the scenario.
+  std::uint32_t threads = 1;
+
   DeploymentConfig deployment;
 
   PolicyVariant policy = PolicyVariant::kStock;
@@ -53,6 +60,11 @@ struct Scenario {
 
   Calibration calibration = default_calibration();
 };
+
+/// The worker-thread count a campaign will actually use for `scenario`:
+/// CELLREL_THREADS (if set) overrides scenario.threads, and 0 resolves to
+/// the hardware thread count. Always >= 1.
+std::uint32_t resolved_thread_count(const Scenario& scenario);
 
 }  // namespace cellrel
 

@@ -1,0 +1,118 @@
+// ThreadPool + deterministic sharding helper tests.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cellrel {
+namespace {
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto f = pool.submit([] {});
+  f.get();
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.submit([&counter] { ++counter; }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("shard failed"); });
+  ok.get();
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  auto after = pool.submit([] {});
+  after.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+    // Destruction must wait for (and run) everything still queued.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ShardRangeHelpers, ShardCountForRoundsUp) {
+  EXPECT_EQ(shard_count_for(0, 64), 1u);
+  EXPECT_EQ(shard_count_for(1, 64), 1u);
+  EXPECT_EQ(shard_count_for(64, 64), 1u);
+  EXPECT_EQ(shard_count_for(65, 64), 2u);
+  EXPECT_EQ(shard_count_for(20'000, 64), 313u);
+  EXPECT_EQ(shard_count_for(10, 0), 10u);  // granularity clamped to 1
+}
+
+TEST(ShardRangeHelpers, PartitionIsContiguousBalancedAndComplete) {
+  for (const std::size_t total : {0UL, 1UL, 7UL, 64UL, 150UL, 4001UL}) {
+    for (const std::size_t shards : {1UL, 2UL, 3UL, 7UL, 64UL}) {
+      std::size_t covered = 0;
+      std::size_t previous_end = 0;
+      std::size_t min_size = total + 1, max_size = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const ShardRange r = shard_range(total, shards, s);
+        EXPECT_EQ(r.begin, previous_end);
+        previous_end = r.end;
+        covered += r.size();
+        min_size = std::min(min_size, r.size());
+        max_size = std::max(max_size, r.size());
+      }
+      EXPECT_EQ(previous_end, total);
+      EXPECT_EQ(covered, total);
+      EXPECT_LE(max_size - min_size, 1u) << total << "/" << shards;
+    }
+  }
+}
+
+TEST(ShardRangeHelpers, OutOfRangeShardIsAContractViolation) {
+  ScopedCheckFailureHandler guard(throwing_check_failure_handler());
+  EXPECT_THROW(shard_range(10, 2, 2), ContractViolation);
+  EXPECT_THROW(shard_range(10, 0, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace cellrel

@@ -1,0 +1,8 @@
+// Allowlisted: the thread pool owns the threading primitives.
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace cellrel {
+struct FixturePool {};
+}  // namespace cellrel

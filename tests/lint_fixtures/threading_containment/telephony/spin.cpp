@@ -1,0 +1,9 @@
+// Seeded violation: threading primitives outside the sanctioned files.
+#include <atomic>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace cellrel {
+int spin_count = 0;
+}

@@ -127,6 +127,47 @@ TEST(CellrelLint, IdentifierBoundariesRespected) {
   EXPECT_TRUE(violations.empty());
 }
 
+TEST(CellrelLint, ThreadingHeadersConfinedToAllowlist) {
+  const auto violations = lint_tree(kFixtures / "threading_containment");
+  // telephony/spin.cpp includes <atomic> and <mutex>: two violations.
+  EXPECT_EQ(std::count_if(violations.begin(), violations.end(),
+                          [](const Violation& v) { return v.rule == "threading"; }),
+            2);
+  // The allowlisted thread_pool fixture must not be flagged.
+  for (const auto& v : violations) {
+    EXPECT_NE(v.file, "common/thread_pool.h") << v.message;
+    EXPECT_EQ(v.file, "telephony/spin.cpp");
+  }
+}
+
+TEST(CellrelLint, ThreadingAllowlistExactFiles) {
+  const std::string source = "#include <thread>\n#include <mutex>\n";
+  // The sanctioned homes are exempt.
+  EXPECT_TRUE(
+      lint_source(source, "common", "common/thread_pool.h", default_layers()).empty());
+  EXPECT_TRUE(
+      lint_source(source, "common", "common/thread_pool.cpp", default_layers()).empty());
+  EXPECT_TRUE(
+      lint_source(source, "workload", "workload/campaign.cpp", default_layers()).empty());
+  EXPECT_TRUE(
+      lint_source("#include <mutex>\n", "common", "common/check.cpp", default_layers())
+          .empty());
+  // Everyone else is flagged, including other files of the same modules.
+  EXPECT_TRUE(has_rule(
+      lint_source(source, "workload", "workload/scenario.cpp", default_layers()),
+      "threading"));
+  EXPECT_TRUE(has_rule(lint_source(source, "common", "common/rng.cpp", default_layers()),
+                       "threading"));
+  EXPECT_TRUE(has_rule(lint_source(source, "sim", "sim/event_queue.h", default_layers()),
+                       "threading"));
+}
+
+TEST(CellrelLint, NonThreadingAngleIncludesAllowed) {
+  const std::string source =
+      "#include <vector>\n#include <future_like_header>\n#include <cstdint>\n";
+  EXPECT_TRUE(lint_source(source, "common", "common/x.h", default_layers()).empty());
+}
+
 TEST(CellrelLint, MissingDirectoryReportsIoError) {
   const auto violations = lint_tree(kFixtures / "does_not_exist");
   ASSERT_EQ(violations.size(), 1u);

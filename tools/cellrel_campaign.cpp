@@ -6,8 +6,12 @@
 //
 // Usage:
 //   cellrel_campaign [--devices N] [--bs N] [--days D] [--seed S]
-//                    [--policy stock|stability] [--recovery vanilla|timp]
-//                    [--no-probing] [--no-dualconn] [--out DIR] [--quiet]
+//                    [--threads N] [--policy stock|stability]
+//                    [--recovery vanilla|timp] [--no-probing] [--no-dualconn]
+//                    [--out DIR] [--quiet]
+//
+// --threads 0 uses every hardware thread; any value produces a dataset
+// bit-identical to --threads 1 (the CELLREL_THREADS env var, if set, wins).
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,8 +30,9 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--devices N] [--bs N] [--days D] [--seed S]\n"
-               "          [--policy stock|stability] [--recovery vanilla|timp]\n"
-               "          [--no-probing] [--no-dualconn] [--out DIR] [--quiet]\n",
+               "          [--threads N] [--policy stock|stability]\n"
+               "          [--recovery vanilla|timp] [--no-probing] [--no-dualconn]\n"
+               "          [--out DIR] [--quiet]\n",
                argv0);
   std::exit(2);
 }
@@ -74,6 +79,8 @@ int main(int argc, char** argv) {
       sc.campaign_days = std::atof(next());
     } else if (arg == "--seed") {
       sc.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      sc.threads = static_cast<std::uint32_t>(std::atoi(next()));
     } else if (arg == "--policy") {
       const std::string v = next();
       if (v == "stock") {
@@ -107,12 +114,12 @@ int main(int argc, char** argv) {
 
   if (!quiet) {
     std::printf("campaign: %u devices, %u BSes, %.0f days, seed %llu, policy=%s, "
-                "recovery=%s, probing=%s\n",
+                "recovery=%s, probing=%s, threads=%u\n",
                 sc.device_count, sc.deployment.bs_count, sc.campaign_days,
                 static_cast<unsigned long long>(sc.seed),
                 std::string(to_string(sc.policy)).c_str(),
                 std::string(to_string(sc.recovery)).c_str(),
-                sc.monitor_probing ? "on" : "off");
+                sc.monitor_probing ? "on" : "off", resolved_thread_count(sc));
   }
   Campaign campaign(sc);
   const CampaignResult result = campaign.run();

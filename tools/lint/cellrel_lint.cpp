@@ -57,6 +57,28 @@ std::string module_of_include(const std::string& include_path) {
   return include_path.substr(0, slash);
 }
 
+/// Threading primitive headers confined by the "threading" rule. All
+/// parallelism must flow through the common/thread_pool executor so that
+/// determinism never depends on ad-hoc synchronization sprinkled through
+/// simulation code.
+const std::vector<std::string>& threading_headers() {
+  static const std::vector<std::string> kHeaders = {
+      "thread",  "mutex",     "shared_mutex", "atomic",    "condition_variable",
+      "future",  "latch",     "barrier",      "semaphore", "stop_token",
+      "pthread.h",
+  };
+  return kHeaders;
+}
+
+/// Files allowed to include threading headers: the thread pool itself, the
+/// campaign shard executor, and the contract-failure handler slot (whose
+/// registration lock predates the rule).
+bool threading_allowlisted(const std::string& relative_path) {
+  return relative_path.rfind("common/thread_pool.", 0) == 0 ||
+         relative_path == "workload/campaign.cpp" ||
+         relative_path == "common/check.cpp";
+}
+
 /// Whitespace-insensitive scan backwards for the previous non-space char.
 char prev_nonspace(const std::string& text, std::size_t pos) {
   while (pos > 0) {
@@ -174,14 +196,14 @@ std::vector<Violation> lint_source(const std::string& source, const std::string&
     ++lineno;
     if (!std::getline(code_lines, code)) code.clear();
 
-    // --- rule: layering -------------------------------------------------
+    // --- rules: layering + threading containment ------------------------
     std::size_t pos = raw.find_first_not_of(" \t");
-    if (pos != std::string::npos && raw[pos] == '#') {
+    if (pos != std::string::npos && raw[pos] == '#' &&
+        raw.find("include", pos) != std::string::npos) {
       const auto open = raw.find('"');
       const auto close = open == std::string::npos ? std::string::npos
                                                    : raw.find('"', open + 1);
-      if (raw.find("include", pos) != std::string::npos &&
-          close != std::string::npos) {
+      if (close != std::string::npos) {
         const std::string target = raw.substr(open + 1, close - open - 1);
         const std::string dep = module_of_include(target);
         if (!dep.empty() && dep != module) {
@@ -196,6 +218,21 @@ std::vector<Violation> lint_source(const std::string& source, const std::string&
                      ") must not include '" + target + "' from '" + dep +
                      "' (layer " + std::to_string(dep_it->second) + ")"});
           }
+        }
+      }
+      // Threading primitives are system headers: <thread>, <mutex>, ...
+      const auto aopen = raw.find('<');
+      const auto aclose = aopen == std::string::npos ? std::string::npos
+                                                     : raw.find('>', aopen + 1);
+      if (aclose != std::string::npos && !threading_allowlisted(relative_path)) {
+        const std::string target = raw.substr(aopen + 1, aclose - aopen - 1);
+        const auto& banned = threading_headers();
+        if (std::find(banned.begin(), banned.end(), target) != banned.end()) {
+          out.push_back(
+              {relative_path, lineno, "threading",
+               "'<" + target + ">' is confined to common/thread_pool.* and the "
+               "campaign shard executor; express parallelism as shard tasks "
+               "on the ThreadPool"});
         }
       }
     }

@@ -1,7 +1,7 @@
 // cellrel-lint: the project's in-tree static checker.
 //
 // Walks a source tree (normally src/), parses the quoted #include graph, and
-// enforces three rule families:
+// enforces four rule families:
 //
 //  1. layering      — modules may only include same-or-lower layers, and the
 //                     module graph must stay acyclic:
@@ -16,6 +16,12 @@
 //                     Simulation output must be a pure function of the seed.
 //  3. naked-new     — `new` / `delete` expressions are banned; ownership goes
 //                     through containers and smart pointers.
+//  4. threading     — <thread>/<mutex>/<atomic>/... includes are confined to
+//                     common/thread_pool.* (the shard executor's engine),
+//                     workload/campaign.cpp (the shard orchestrator), and
+//                     common/check.cpp (the failure-handler lock). Parallel
+//                     code must be expressed as shard tasks whose results
+//                     merge deterministically, never as ad-hoc shared state.
 //
 // The library half is separated from main() so the rules are unit-testable
 // against fixture trees (tests/lint_fixtures).
@@ -34,7 +40,8 @@ struct Violation {
   std::string file;     // path relative to the scanned root
   std::size_t line = 0; // 1-based; 0 for tree-level findings (cycles)
   std::string rule;     // "layering" | "nondeterminism" | "naked-new" |
-                        // "unknown-module" | "module-cycle" | "io-error"
+                        // "threading" | "unknown-module" | "module-cycle" |
+                        // "io-error"
   std::string message;
 };
 
