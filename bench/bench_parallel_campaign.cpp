@@ -11,10 +11,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "common/thread_pool.h"
+#include "obs/export.h"
 
 namespace {
 
@@ -52,7 +54,25 @@ std::uint64_t fingerprint(const CampaignResult& r) {
   mix(r.recovery_episodes.size());
   mix(r.simulated_events);
   mix(r.episodes_run);
+  // The deterministic metrics export is part of the identity contract too.
+  for (const char c : cellrel::obs::metrics_to_json(r.metrics)) {
+    mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
   return h;
+}
+
+/// One-line per-phase wall timing summary from the campaign's PhaseSpans
+/// (host-clock data: display only, never part of the fingerprint).
+std::string phase_summary(const CampaignResult& r) {
+  std::string out;
+  char buf[64];
+  for (const auto& [name, t] : r.metrics.wall_timers()) {
+    if (name.rfind("phase.", 0) != 0) continue;
+    std::snprintf(buf, sizeof(buf), "%s%s %.3fs", out.empty() ? "" : "  ",
+                  name.c_str() + 6, t.total_s);
+    out += buf;
+  }
+  return out;
 }
 
 struct Sample {
@@ -82,30 +102,36 @@ int main() {
               sc.device_count, sc.deployment.bs_count,
               static_cast<unsigned long long>(sc.seed), hardware);
 
-  auto timed_run = [&sc](std::uint32_t threads, std::uint64_t* out_fp) {
+  auto timed_run = [&sc](std::uint32_t threads, std::uint64_t* out_fp,
+                         std::string* out_phases) {
     Scenario run_sc = sc;
     run_sc.threads = threads;
     const auto start = std::chrono::steady_clock::now();
     const CampaignResult result = Campaign(run_sc).run();
     const auto stop = std::chrono::steady_clock::now();
     *out_fp = fingerprint(result);
+    *out_phases = phase_summary(result);
     return std::chrono::duration<double>(stop - start).count();
   };
 
   std::uint64_t baseline_fp = 0;
-  const double baseline_seconds = timed_run(1, &baseline_fp);
-  std::printf("%8s  %10s  %8s  %s\n", "threads", "seconds", "speedup", "identical");
-  std::printf("%8u  %10.3f  %8.2f  %s\n", 1u, baseline_seconds, 1.0, "yes (baseline)");
+  std::string phases;
+  const double baseline_seconds = timed_run(1, &baseline_fp, &phases);
+  std::printf("%8s  %10s  %8s  %-14s  %s\n", "threads", "seconds", "speedup",
+              "identical", "phases");
+  std::printf("%8u  %10.3f  %8.2f  %-14s  %s\n", 1u, baseline_seconds, 1.0,
+              "yes (baseline)", phases.c_str());
 
   std::vector<Sample> samples;
   samples.push_back({1, baseline_seconds, true});
   for (std::uint32_t threads = 2; threads <= max_threads; threads *= 2) {
     std::uint64_t fp = 0;
-    const double seconds = timed_run(threads, &fp);
+    const double seconds = timed_run(threads, &fp, &phases);
     const bool identical = fp == baseline_fp;
     samples.push_back({threads, seconds, identical});
-    std::printf("%8u  %10.3f  %8.2f  %s\n", threads, seconds,
-                baseline_seconds / seconds, identical ? "yes" : "NO — BUG");
+    std::printf("%8u  %10.3f  %8.2f  %-14s  %s\n", threads, seconds,
+                baseline_seconds / seconds, identical ? "yes" : "NO — BUG",
+                phases.c_str());
   }
 
   const char* path = "BENCH_parallel_campaign.json";

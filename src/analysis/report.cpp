@@ -10,6 +10,10 @@ namespace cellrel {
 std::string render_series(const Series& series, bool bars, int precision) {
   std::string out;
   out += "# " + series.name + "\n";
+  if (series.values.empty()) {
+    out += "  (no samples)\n";
+    return out;
+  }
   std::size_t label_width = 0;
   for (const auto& l : series.labels) label_width = std::max(label_width, l.size());
   double peak = 0.0;
@@ -40,6 +44,10 @@ std::span<const double> default_cdf_quantiles() {
 
 std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles) {
   std::string out;
+  if (samples.size() == 0) {
+    out += "  (no samples)\n";
+    return out;
+  }
   char buf[96];
   for (double q : probe_quantiles) {
     std::snprintf(buf, sizeof(buf), "  p%05.1f  %12.2f\n", q * 100.0, samples.quantile(q));
@@ -92,6 +100,37 @@ std::string render_comparisons(std::span<const Comparison> rows) {
     table.add_row({row.metric, TextTable::num(row.paper), TextTable::num(row.measured),
                    row.unit});
   }
+  return table.render();
+}
+
+std::string render_metrics(const obs::MetricRegistry& metrics) {
+  TextTable table({"metric", "kind", "value"});
+  char buf[128];
+  for (const auto& [name, c] : metrics.counters()) {
+    table.add_row({name, "counter", std::to_string(c.value)});
+  }
+  for (const auto& [name, g] : metrics.gauges()) {
+    table.add_row({name, "gauge", TextTable::num(g.value)});
+  }
+  for (const auto& [name, h] : metrics.histograms()) {
+    std::snprintf(buf, sizeof(buf), "n=%llu under=%llu over=%llu",
+                  static_cast<unsigned long long>(h.total()),
+                  static_cast<unsigned long long>(h.underflow()),
+                  static_cast<unsigned long long>(h.overflow()));
+    table.add_row({name, "histogram", buf});
+  }
+  for (const auto& [name, t] : metrics.sim_timers()) {
+    std::snprintf(buf, sizeof(buf), "n=%llu mean=%.3fs max=%.3fs",
+                  static_cast<unsigned long long>(t.count), t.mean_s(),
+                  static_cast<double>(t.max_us) / 1e6);
+    table.add_row({name, "sim_timer", buf});
+  }
+  for (const auto& [name, t] : metrics.wall_timers()) {
+    std::snprintf(buf, sizeof(buf), "n=%llu total=%.3fs max=%.3fs",
+                  static_cast<unsigned long long>(t.count), t.total_s, t.max_s);
+    table.add_row({name, "wall_timer", buf});
+  }
+  if (metrics.empty()) table.add_row({"(no metrics)", "", ""});
   return table.render();
 }
 

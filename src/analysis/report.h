@@ -10,6 +10,7 @@
 
 #include "analysis/aggregate.h"
 #include "common/table.h"
+#include "obs/metrics.h"
 
 namespace cellrel {
 
@@ -20,10 +21,12 @@ struct Series {
   std::vector<double> values;
 };
 
-/// "label: value" lines with aligned columns and optional bars.
+/// "label: value" lines with aligned columns and optional bars. An empty
+/// series renders a single "(no samples)" line under its title.
 std::string render_series(const Series& series, bool bars = true, int precision = 3);
 
 /// Empirical CDF as "value  cumulative%" lines at the given probe points.
+/// An empty sample set renders a single "(no samples)" line.
 std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles);
 
 /// Default quantile probes used across duration/count CDFs.
@@ -41,6 +44,11 @@ struct Comparison {
   std::string unit;
 };
 std::string render_comparisons(std::span<const Comparison> rows);
+
+/// One-row-per-metric summary table of a campaign's MetricRegistry (the
+/// human-readable companion of obs::metrics_to_json). Wall timers are
+/// included here — this is a display surface, not the deterministic export.
+std::string render_metrics(const obs::MetricRegistry& metrics);
 
 }  // namespace cellrel
 

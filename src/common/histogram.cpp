@@ -46,6 +46,17 @@ double LinearHistogram::cumulative_fraction(double x) const {
   return static_cast<double>(below) / static_cast<double>(total_);
 }
 
+void LinearHistogram::merge(const LinearHistogram& other) {
+  CELLREL_CHECK(lo_ == other.lo_ && hi_ == other.hi_ && counts_.size() == other.counts_.size())
+      << "merging differently-shaped linear histograms: [" << lo_ << ", " << hi_ << ")x"
+      << counts_.size() << " vs [" << other.lo_ << ", " << other.hi_ << ")x"
+      << other.counts_.size();
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 LogHistogram::LogHistogram(double first_edge, double ratio, std::size_t bins)
     : first_edge_(first_edge), ratio_(ratio), counts_(bins, 0) {
   CELLREL_CHECK(first_edge > 0.0 && ratio > 1.0 && bins > 0)
@@ -70,6 +81,14 @@ double LogHistogram::bin_lo(std::size_t i) const {
 
 double LogHistogram::bin_hi(std::size_t i) const {
   return first_edge_ * std::pow(ratio_, static_cast<double>(i));
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  CELLREL_CHECK(first_edge_ == other.first_edge_ && ratio_ == other.ratio_ &&
+                counts_.size() == other.counts_.size())
+      << "merging differently-shaped log histograms";
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 std::string LogHistogram::render(std::size_t max_width) const {

@@ -28,6 +28,15 @@ class LinearHistogram {
   /// Fraction of total mass at or below x (bin-resolution approximation).
   double cumulative_fraction(double x) const;
 
+  /// Bin-wise accumulation of an identically-shaped histogram (same lo, hi
+  /// and bin count — checked). The basis of the deterministic shard-merge in
+  /// the observability layer: counts are integers, so merge order never
+  /// changes the result.
+  void merge(const LinearHistogram& other);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
  private:
   double lo_;
   double hi_;
@@ -56,6 +65,9 @@ class LogHistogram {
 
   /// Pretty one-line-per-bin rendering (for bench/report output).
   std::string render(std::size_t max_width = 50) const;
+
+  /// Bin-wise accumulation of an identically-shaped histogram (checked).
+  void merge(const LogHistogram& other);
 
  private:
   double first_edge_;

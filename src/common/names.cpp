@@ -1,0 +1,56 @@
+#include "common/names.h"
+
+namespace cellrel {
+
+namespace {
+
+/// Matches `name` against to_string over every enumerator in `all`.
+template <typename Enum, std::size_t N>
+std::optional<Enum> parse_exact(std::string_view name, const std::array<Enum, N>& all) {
+  for (Enum e : all) {
+    if (to_string(e) == name) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Rat> parse_rat(std::string_view name) {
+  return parse_exact(name, kAllRats);
+}
+
+std::optional<FailureType> parse_failure_type(std::string_view name) {
+  static constexpr std::array<FailureType, kFailureTypeCount> kAll = {
+      FailureType::kDataSetupError, FailureType::kOutOfService, FailureType::kDataStall,
+      FailureType::kSmsSendFail, FailureType::kVoiceCallDrop};
+  return parse_exact(name, kAll);
+}
+
+std::optional<FalsePositiveKind> parse_false_positive_kind(std::string_view name) {
+  static constexpr std::array<FalsePositiveKind, kFalsePositiveKindCount> kAll = {
+      FalsePositiveKind::kNone,
+      FalsePositiveKind::kBsOverloadRejection,
+      FalsePositiveKind::kIncomingVoiceCall,
+      FalsePositiveKind::kInsufficientBalance,
+      FalsePositiveKind::kManualDisconnect,
+      FalsePositiveKind::kSystemSideStall,
+      FalsePositiveKind::kDnsResolutionOnly};
+  return parse_exact(name, kAll);
+}
+
+std::optional<PolicyVariant> parse_policy_variant(std::string_view name) {
+  if (name == "stability") return PolicyVariant::kStabilityCompatible;
+  static constexpr std::array<PolicyVariant, 2> kAll = {
+      PolicyVariant::kStock, PolicyVariant::kStabilityCompatible};
+  return parse_exact(name, kAll);
+}
+
+std::optional<RecoveryVariant> parse_recovery_variant(std::string_view name) {
+  if (name == "vanilla") return RecoveryVariant::kVanilla;
+  if (name == "timp") return RecoveryVariant::kTimpOptimized;
+  static constexpr std::array<RecoveryVariant, 2> kAll = {
+      RecoveryVariant::kVanilla, RecoveryVariant::kTimpOptimized};
+  return parse_exact(name, kAll);
+}
+
+}  // namespace cellrel

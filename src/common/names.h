@@ -1,0 +1,163 @@
+// Canonical enum taxonomy & naming: the study's cross-cutting enums live
+// here (layer 0) together with their round-trip string conversions, so every
+// layer — radio, telephony, workload, tools — agrees on one spelling and the
+// CLI can parse what the reports print.
+//
+// Headers that historically owned these enums (radio/rat.h,
+// telephony/events.h, workload/scenario.h) now re-export them from here;
+// include whichever matches the domain you are working in.
+
+#ifndef CELLREL_COMMON_NAMES_H
+#define CELLREL_COMMON_NAMES_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cellrel {
+
+// ---------------------------------------------------------------------------
+// Radio access technology (RAT) taxonomy.
+// ---------------------------------------------------------------------------
+
+/// Radio access technology generations as the study distinguishes them.
+enum class Rat : std::uint8_t {
+  k2G = 0,  // GSM / GPRS / EDGE / CDMA 1x
+  k3G = 1,  // UMTS / HSPA / EVDO
+  k4G = 2,  // LTE
+  k5G = 3,  // NR
+};
+
+inline constexpr std::array<Rat, 4> kAllRats = {Rat::k2G, Rat::k3G, Rat::k4G, Rat::k5G};
+inline constexpr std::size_t kRatCount = kAllRats.size();
+
+constexpr std::string_view to_string(Rat rat) {
+  switch (rat) {
+    case Rat::k2G: return "2G";
+    case Rat::k3G: return "3G";
+    case Rat::k4G: return "4G";
+    case Rat::k5G: return "5G";
+  }
+  return "?";
+}
+
+constexpr std::size_t index_of(Rat rat) { return static_cast<std::size_t>(rat); }
+
+/// Generation ordering: 2G < 3G < 4G < 5G.
+constexpr bool newer_than(Rat a, Rat b) { return index_of(a) > index_of(b); }
+
+// ---------------------------------------------------------------------------
+// Failure-event taxonomy (§1).
+// ---------------------------------------------------------------------------
+
+/// The cellular failure classes of the study (§1). The long tail of legacy
+/// SMS/voice failures (<1% of events) is modelled by the last two entries.
+enum class FailureType : std::uint8_t {
+  kDataSetupError = 0,
+  kOutOfService = 1,
+  kDataStall = 2,
+  kSmsSendFail = 3,
+  kVoiceCallDrop = 4,
+};
+
+inline constexpr std::size_t kFailureTypeCount = 5;
+
+constexpr std::string_view to_string(FailureType t) {
+  switch (t) {
+    case FailureType::kDataSetupError: return "Data_Setup_Error";
+    case FailureType::kOutOfService: return "Out_of_Service";
+    case FailureType::kDataStall: return "Data_Stall";
+    case FailureType::kSmsSendFail: return "Sms_Send_Fail";
+    case FailureType::kVoiceCallDrop: return "Voice_Call_Drop";
+  }
+  return "?";
+}
+
+constexpr std::size_t index_of(FailureType t) { return static_cast<std::size_t>(t); }
+
+/// Ground-truth annotations about why an event is NOT a true failure.
+/// The framework reports these events anyway; Android-MOD's filters must
+/// recognize and remove them. Carried alongside events for validation only —
+/// filter code must never read this (tests assert filter decisions against
+/// it instead).
+enum class FalsePositiveKind : std::uint8_t {
+  kNone = 0,               // a true failure
+  kBsOverloadRejection,    // rational setup rejection (§2.1)
+  kIncomingVoiceCall,      // connection disruption by voice call (§2.2)
+  kInsufficientBalance,    // account-state service suspension
+  kManualDisconnect,       // user toggled data off / airplane mode
+  kSystemSideStall,        // stall caused by local firewall/proxy/driver
+  kDnsResolutionOnly,      // resolver outage, data path healthy
+};
+
+inline constexpr std::size_t kFalsePositiveKindCount = 7;
+
+constexpr bool is_false_positive(FalsePositiveKind k) {
+  return k != FalsePositiveKind::kNone;
+}
+
+constexpr std::string_view to_string(FalsePositiveKind k) {
+  switch (k) {
+    case FalsePositiveKind::kNone: return "none";
+    case FalsePositiveKind::kBsOverloadRejection: return "bs-overload-rejection";
+    case FalsePositiveKind::kIncomingVoiceCall: return "incoming-voice-call";
+    case FalsePositiveKind::kInsufficientBalance: return "insufficient-balance";
+    case FalsePositiveKind::kManualDisconnect: return "manual-disconnect";
+    case FalsePositiveKind::kSystemSideStall: return "system-side-stall";
+    case FalsePositiveKind::kDnsResolutionOnly: return "dns-resolution-only";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Campaign enhancement variants (§4).
+// ---------------------------------------------------------------------------
+
+/// Which RAT selection policy 5G-capable devices run. Non-5G devices always
+/// run their Android version's stock policy.
+enum class PolicyVariant : std::uint8_t {
+  kStock = 0,             // Android 9 / Android 10 behaviour per model
+  kStabilityCompatible,   // the paper's §4.2 policy + 4G/5G dual connectivity
+};
+
+constexpr std::string_view to_string(PolicyVariant v) {
+  switch (v) {
+    case PolicyVariant::kStock: return "stock";
+    case PolicyVariant::kStabilityCompatible: return "stability-compatible";
+  }
+  return "?";
+}
+
+/// Which Data_Stall recovery trigger devices run.
+enum class RecoveryVariant : std::uint8_t {
+  kVanilla = 0,     // fixed 60 s probations
+  kTimpOptimized,   // schedule produced by the TIMP optimizer
+};
+
+constexpr std::string_view to_string(RecoveryVariant v) {
+  switch (v) {
+    case RecoveryVariant::kVanilla: return "vanilla-60s";
+    case RecoveryVariant::kTimpOptimized: return "timp-optimized";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip parsers (CLI surface).
+//
+// Each parser accepts exactly what the matching to_string produces, plus the
+// short CLI aliases noted below, and returns nullopt for anything else.
+// ---------------------------------------------------------------------------
+
+std::optional<Rat> parse_rat(std::string_view name);
+std::optional<FailureType> parse_failure_type(std::string_view name);
+std::optional<FalsePositiveKind> parse_false_positive_kind(std::string_view name);
+/// Also accepts "stability" for kStabilityCompatible.
+std::optional<PolicyVariant> parse_policy_variant(std::string_view name);
+/// Also accepts "vanilla" / "timp".
+std::optional<RecoveryVariant> parse_recovery_variant(std::string_view name);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_COMMON_NAMES_H

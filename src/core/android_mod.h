@@ -37,6 +37,13 @@ class AndroidMod {
   void boot();
   void shutdown();
 
+  /// Wires the whole device stack (telephony components + monitor) to a
+  /// metric sink. Campaigns hand every device of a shard the shard's sink.
+  void set_metrics(obs::MetricSink* sink) {
+    telephony_.set_metrics(sink);
+    monitor_.set_metrics(sink);
+  }
+
  private:
   class StallRecoveryBridge final : public FailureEventListener {
    public:

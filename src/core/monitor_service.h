@@ -20,6 +20,7 @@
 #include "core/prober.h"
 #include "core/trace.h"
 #include "core/uploader.h"
+#include "obs/metrics.h"
 #include "telephony/telephony_manager.h"
 
 namespace cellrel {
@@ -75,7 +76,19 @@ class MonitorService final : public FailureEventListener {
   const TraceUploader& uploader() const { return uploader_; }
   std::uint64_t records_written() const { return records_written_; }
 
+  /// Wires the monitor to a metric sink ("monitor.*" namespace): events
+  /// handled, records written / filtered as false positives, and probe-ladder
+  /// rounds. Pass nullptr to detach.
+  void set_metrics(obs::MetricSink* sink);
+
  private:
+  struct Metrics {
+    obs::Counter* events = nullptr;
+    obs::Counter* records = nullptr;
+    obs::Counter* filtered_fp = nullptr;
+    obs::Counter* probe_rounds = nullptr;
+  };
+
   void sync_upload_accounting() {
     const std::uint64_t bytes = uploader_.uploaded_bytes();
     const std::uint64_t records = uploader_.uploaded_records();
@@ -113,6 +126,7 @@ class MonitorService final : public FailureEventListener {
   // Open Out_of_Service episode.
   std::optional<TraceRecord> open_oos_;
 
+  Metrics metrics_;
   std::uint64_t records_written_ = 0;
   std::uint64_t probe_bytes_seen_ = 0;
   std::uint64_t uploaded_bytes_seen_ = 0;

@@ -1,0 +1,43 @@
+// JSON / CSV export of a MetricRegistry.
+//
+// Both formats are byte-deterministic: metrics are emitted in name order
+// (the registry's map order) with fixed number formatting, so two registries
+// holding equal values export to identical bytes — the property the
+// `--metrics-out` bit-identity contract (threads=K vs threads=1) is tested
+// against. Wall timers are host-clock measurements and are excluded unless
+// ExportOptions.include_wall is set.
+
+#ifndef CELLREL_OBS_EXPORT_H
+#define CELLREL_OBS_EXPORT_H
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cellrel::obs {
+
+struct ExportOptions {
+  /// Include wall timers ("wall_timers" object / kind=wall_timer rows).
+  /// Off by default: wall values vary run to run and would break the
+  /// bit-identity contract of the exported file.
+  bool include_wall = false;
+};
+
+/// Pretty-printed JSON document (2-space indent, keys sorted by name):
+/// {
+///   "counters":   { "<name>": N, ... },
+///   "gauges":     { "<name>": { "value": X, "writes": N }, ... },
+///   "histograms": { "<name>": { "lo":, "hi":, "underflow":, "overflow":,
+///                               "total":, "buckets": [ ... ] }, ... },
+///   "sim_timers": { "<name>": { "count":, "total_us":, "max_us": }, ... }
+///   [, "wall_timers": { ... }]
+/// }
+std::string metrics_to_json(const MetricRegistry& registry, ExportOptions options = {});
+
+/// Flat CSV: kind,name,field,value — one row per scalar field, rows in
+/// (kind, name, field) order.
+std::string metrics_to_csv(const MetricRegistry& registry, ExportOptions options = {});
+
+}  // namespace cellrel::obs
+
+#endif  // CELLREL_OBS_EXPORT_H

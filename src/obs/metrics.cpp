@@ -1,0 +1,79 @@
+#include "obs/metrics.h"
+
+#include <chrono>
+
+#include "common/check.h"
+
+namespace cellrel::obs {
+
+std::uint64_t wall_now_ns() {
+  // The project-wide wall-clock exemption: cellrel-lint confines steady_clock
+  // (and <chrono> altogether) to src/obs. Simulation code measures SimTime;
+  // only the observability plane may look at the host clock.
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  return counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  return gauges_.try_emplace(std::string(name)).first->second;
+}
+
+LinearHistogram& MetricRegistry::histogram(std::string_view name, double lo, double hi,
+                                           std::size_t bins) {
+  auto [it, inserted] = histograms_.try_emplace(std::string(name), lo, hi, bins);
+  if (!inserted) {
+    CELLREL_CHECK(it->second.lo() == lo && it->second.hi() == hi &&
+                  it->second.bin_count() == bins)
+        << "histogram '" << it->first << "' re-registered with a different shape";
+  }
+  return it->second;
+}
+
+SimTimerStat& MetricRegistry::sim_timer(std::string_view name) {
+  return sim_timers_.try_emplace(std::string(name)).first->second;
+}
+
+WallTimerStat& MetricRegistry::wall_timer(std::string_view name) {
+  return wall_timers_.try_emplace(std::string(name)).first->second;
+}
+
+void MetricRegistry::merge(const MetricRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).value += c.value;
+  for (const auto& [name, g] : other.gauges_) {
+    // Later writer wins; a gauge nobody wrote never overwrites one somebody
+    // did (shards that skip a gauge leave the earlier value standing).
+    Gauge& mine = gauge(name);
+    if (g.writes > 0) mine.value = g.value;
+    mine.writes += g.writes;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h.lo(), h.hi(), h.bin_count()).merge(h);
+  }
+  for (const auto& [name, t] : other.sim_timers_) {
+    SimTimerStat& mine = sim_timer(name);
+    mine.count += t.count;
+    mine.total_us += t.total_us;
+    if (t.max_us > mine.max_us) mine.max_us = t.max_us;
+  }
+  for (const auto& [name, t] : other.wall_timers_) {
+    WallTimerStat& mine = wall_timer(name);
+    mine.count += t.count;
+    mine.total_s += t.total_s;
+    if (t.max_s > mine.max_s) mine.max_s = t.max_s;
+  }
+}
+
+PhaseSpan::PhaseSpan(MetricRegistry& registry, std::string_view name)
+    : stat_(registry.wall_timer("phase." + std::string(name))), start_ns_(wall_now_ns()) {}
+
+PhaseSpan::~PhaseSpan() {
+  stat_.record_s(static_cast<double>(wall_now_ns() - start_ns_) / 1e9);
+}
+
+}  // namespace cellrel::obs

@@ -1,40 +1,12 @@
 // Radio access technology (RAT) taxonomy.
+//
+// The enum itself lives in common/names.h (with every other cross-cutting
+// taxonomy and its round-trip parser); this header remains the radio-layer
+// spelling of that include.
 
 #ifndef CELLREL_RADIO_RAT_H
 #define CELLREL_RADIO_RAT_H
 
-#include <array>
-#include <cstdint>
-#include <string_view>
-
-namespace cellrel {
-
-/// Radio access technology generations as the study distinguishes them.
-enum class Rat : std::uint8_t {
-  k2G = 0,  // GSM / GPRS / EDGE / CDMA 1x
-  k3G = 1,  // UMTS / HSPA / EVDO
-  k4G = 2,  // LTE
-  k5G = 3,  // NR
-};
-
-inline constexpr std::array<Rat, 4> kAllRats = {Rat::k2G, Rat::k3G, Rat::k4G, Rat::k5G};
-inline constexpr std::size_t kRatCount = kAllRats.size();
-
-constexpr std::string_view to_string(Rat rat) {
-  switch (rat) {
-    case Rat::k2G: return "2G";
-    case Rat::k3G: return "3G";
-    case Rat::k4G: return "4G";
-    case Rat::k5G: return "5G";
-  }
-  return "?";
-}
-
-constexpr std::size_t index_of(Rat rat) { return static_cast<std::size_t>(rat); }
-
-/// Generation ordering: 2G < 3G < 4G < 5G.
-constexpr bool newer_than(Rat a, Rat b) { return index_of(a) > index_of(b); }
-
-}  // namespace cellrel
+#include "common/names.h"
 
 #endif  // CELLREL_RADIO_RAT_H

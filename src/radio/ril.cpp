@@ -7,26 +7,41 @@ namespace cellrel {
 RadioInterfaceLayer::RadioInterfaceLayer(Simulator& sim, Rng rng)
     : sim_(sim), modem_(rng) {}
 
-std::uint64_t RadioInterfaceLayer::dispatch(ModemResult result, ResponseCallback cb) {
+void RadioInterfaceLayer::set_metrics(obs::MetricSink* sink) {
+  auto resolve = [&](const char* command) -> CommandMetrics {
+    if (!sink) return {};
+    const std::string base = std::string("ril.") + command;
+    return {&sink->sim_timer(base + ".latency"), &sink->counter(base + ".failures")};
+  };
+  setup_metrics_ = resolve("setup_data_call");
+  deactivate_metrics_ = resolve("deactivate_data_call");
+  reregister_metrics_ = resolve("reregister");
+  restart_metrics_ = resolve("restart_radio");
+}
+
+std::uint64_t RadioInterfaceLayer::dispatch(ModemResult result, ResponseCallback cb,
+                                            const CommandMetrics& metrics) {
   const std::uint64_t serial = next_serial_++;
+  if (metrics.latency) metrics.latency->record(result.latency);
+  if (metrics.failures && !result.success) metrics.failures->add();
   sim_.schedule_after(result.latency, [result, cb = std::move(cb)] { cb(result); });
   return serial;
 }
 
 std::uint64_t RadioInterfaceLayer::setup_data_call(ResponseCallback cb) {
-  return dispatch(modem_.setup_data_call(channel_), std::move(cb));
+  return dispatch(modem_.setup_data_call(channel_), std::move(cb), setup_metrics_);
 }
 
 std::uint64_t RadioInterfaceLayer::deactivate_data_call(ResponseCallback cb) {
-  return dispatch(modem_.deactivate_data_call(), std::move(cb));
+  return dispatch(modem_.deactivate_data_call(), std::move(cb), deactivate_metrics_);
 }
 
 std::uint64_t RadioInterfaceLayer::reregister(ResponseCallback cb) {
-  return dispatch(modem_.reregister(channel_), std::move(cb));
+  return dispatch(modem_.reregister(channel_), std::move(cb), reregister_metrics_);
 }
 
 std::uint64_t RadioInterfaceLayer::restart_radio(ResponseCallback cb) {
-  return dispatch(modem_.restart_radio(), std::move(cb));
+  return dispatch(modem_.restart_radio(), std::move(cb), restart_metrics_);
 }
 
 void RadioInterfaceLayer::add_listener(RilIndicationListener* l) {

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "radio/modem.h"
 #include "sim/event_queue.h"
 
@@ -68,14 +69,31 @@ class RadioInterfaceLayer {
 
   std::uint64_t commands_issued() const { return next_serial_; }
 
+  /// Wires this RIL to a metric sink: each command records its (simulated)
+  /// modem latency under "ril.<command>.latency" and failures under
+  /// "ril.<command>.failures". Handles are resolved here, once; pass
+  /// nullptr to detach.
+  void set_metrics(obs::MetricSink* sink);
+
  private:
-  std::uint64_t dispatch(ModemResult result, ResponseCallback cb);
+  /// Per-command metric handles, resolved at set_metrics() time.
+  struct CommandMetrics {
+    obs::SimTimerStat* latency = nullptr;
+    obs::Counter* failures = nullptr;
+  };
+
+  std::uint64_t dispatch(ModemResult result, ResponseCallback cb,
+                         const CommandMetrics& metrics);
 
   Simulator& sim_;
   ModemSimulator modem_;
   ChannelConditions channel_;
   std::vector<RilIndicationListener*> listeners_;
   std::uint64_t next_serial_ = 0;
+  CommandMetrics setup_metrics_;
+  CommandMetrics deactivate_metrics_;
+  CommandMetrics reregister_metrics_;
+  CommandMetrics restart_metrics_;
 };
 
 }  // namespace cellrel

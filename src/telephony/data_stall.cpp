@@ -49,6 +49,16 @@ void DataStallDetector::schedule_next() {
 
 void DataStallDetector::poll_now() { check(); }
 
+void DataStallDetector::set_metrics(obs::MetricSink* sink) {
+  if (!sink) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.checks = &sink->counter("data_stall.checks");
+  metrics_.episodes = &sink->counter("data_stall.episodes");
+  metrics_.episode_duration = &sink->sim_timer("data_stall.episode.duration");
+}
+
 FalsePositiveKind DataStallDetector::ground_truth() const {
   switch (stack_.fault()) {
     case NetworkFault::kFirewallMisconfig:
@@ -69,11 +79,13 @@ void DataStallDetector::check() {
   CELLREL_CHECK(!episode_active_ || episode_started_ <= now)
       << "episode started at " << to_string(episode_started_) << ", now "
       << to_string(now);
+  if (metrics_.checks) metrics_.checks->add();
   const bool suspected = tcp_.stall_suspected(now, config_.sent_threshold);
   if (suspected && !episode_active_) {
     episode_active_ = true;
     episode_started_ = now;
     ++episodes_;
+    if (metrics_.episodes) metrics_.episodes->add();
     FailureEvent event;
     event.type = FailureType::kDataStall;
     event.at = now;
@@ -87,6 +99,7 @@ void DataStallDetector::check() {
     for (auto* l : listeners_) l->on_failure_event(event);
   } else if (!suspected && episode_active_) {
     episode_active_ = false;
+    if (metrics_.episode_duration) metrics_.episode_duration->record(now - episode_started_);
     for (auto* l : listeners_) l->on_failure_cleared(FailureType::kDataStall, now);
   }
 }

@@ -14,6 +14,7 @@
 
 #include "net/network_stack.h"
 #include "net/tcp_stats.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 #include "telephony/dc_tracker.h"
 #include "telephony/events.h"
@@ -56,7 +57,17 @@ class DataStallDetector {
   /// changes faster than the poll cadence).
   void poll_now();
 
+  /// Wires the detector to a metric sink ("data_stall.*" namespace); handles
+  /// are resolved once here. Pass nullptr to detach.
+  void set_metrics(obs::MetricSink* sink);
+
  private:
+  struct Metrics {
+    obs::Counter* checks = nullptr;
+    obs::Counter* episodes = nullptr;
+    obs::SimTimerStat* episode_duration = nullptr;
+  };
+
   void schedule_next();
   void check();
   FalsePositiveKind ground_truth() const;
@@ -72,6 +83,7 @@ class DataStallDetector {
   bool episode_active_ = false;
   SimTime episode_started_;
   std::uint64_t episodes_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace cellrel

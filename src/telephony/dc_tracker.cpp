@@ -12,6 +12,19 @@ DcTracker::DcTracker(Simulator& sim, RadioInterfaceLayer& ril)
 DcTracker::DcTracker(Simulator& sim, RadioInterfaceLayer& ril, Config config)
     : sim_(sim), ril_(ril), config_(std::move(config)) {}
 
+void DcTracker::set_metrics(obs::MetricSink* sink) {
+  if (!sink) {
+    metrics_ = {};
+    return;
+  }
+  metrics_.attempts = &sink->counter("dc_tracker.setup.attempts");
+  metrics_.failures = &sink->counter("dc_tracker.setup.failures");
+  metrics_.retries = &sink->counter("dc_tracker.retry.scheduled");
+  // Backoff delays top out at max_retry_delay (45 s by default); 12 bins of
+  // 5 s resolve every doubling step of the 1s * 2^n ladder.
+  metrics_.backoff_s = &sink->histogram("dc_tracker.retry.backoff_s", 0.0, 60.0, 12);
+}
+
 void DcTracker::add_listener(FailureEventListener* l) {
   if (l && std::find(listeners_.begin(), listeners_.end(), l) == listeners_.end()) {
     listeners_.push_back(l);
@@ -42,6 +55,7 @@ void DcTracker::attempt_setup() {
   CELLREL_CHECK(dc_.state() == DcState::kActivating)
       << "SETUP_DATA_CALL issued in state " << to_string(dc_.state());
   ++setup_attempts_;
+  if (metrics_.attempts) metrics_.attempts->add();
   ril_.setup_data_call([this](const ModemResult& r) { on_setup_response(r); });
 }
 
@@ -69,6 +83,7 @@ void DcTracker::on_setup_response(const ModemResult& result) {
   }
 
   ++setup_failures_;
+  if (metrics_.failures) metrics_.failures->add();
   CELLREL_DCHECK(setup_failures_ <= setup_attempts_)
       << setup_failures_ << " failures vs " << setup_attempts_ << " attempts";
   FailureEvent event;
@@ -89,6 +104,8 @@ void DcTracker::on_setup_response(const ModemResult& result) {
   for (std::uint32_t i = 1; i < consecutive_failures_ && factor < 64.0; ++i) factor *= 2.0;
   SimDuration delay = config_.first_retry_delay * factor;
   delay = std::min(delay, config_.max_retry_delay);
+  if (metrics_.retries) metrics_.retries->add();
+  if (metrics_.backoff_s) metrics_.backoff_s->add(delay.to_seconds());
   pending_retry_ = sim_.schedule_after(delay, [this] { attempt_setup(); });
 }
 

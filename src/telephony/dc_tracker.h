@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "radio/ril.h"
 #include "telephony/data_connection.h"
 #include "telephony/events.h"
@@ -77,17 +78,29 @@ class DcTracker {
   std::uint64_t setup_attempts() const { return setup_attempts_; }
   std::uint64_t setup_failures() const { return setup_failures_; }
 
+  /// Wires the tracker to a metric sink ("dc_tracker.*" namespace); handles
+  /// are resolved once here. Pass nullptr to detach.
+  void set_metrics(obs::MetricSink* sink);
+
  private:
   void attempt_setup();
   void on_setup_response(const ModemResult& result);
   void report(const FailureEvent& event);
   FalsePositiveKind classify_ground_truth(const ModemResult& result) const;
 
+  struct Metrics {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* failures = nullptr;
+    obs::Counter* retries = nullptr;
+    LinearHistogram* backoff_s = nullptr;
+  };
+
   Simulator& sim_;
   RadioInterfaceLayer& ril_;
   Config config_;
   DataConnection dc_;
   CellContext cell_;
+  Metrics metrics_;
   std::vector<FailureEventListener*> listeners_;
   ScheduledEvent pending_retry_;
   std::uint32_t consecutive_failures_ = 0;

@@ -14,6 +14,7 @@
 #include <string_view>
 
 #include "bs/base_station.h"
+#include "common/names.h"
 #include "common/sim_time.h"
 #include "radio/fail_cause.h"
 #include "radio/rat.h"
@@ -21,51 +22,8 @@
 
 namespace cellrel {
 
-/// The cellular failure classes of the study (§1). The long tail of legacy
-/// SMS/voice failures (<1% of events) is modelled by the last two entries.
-enum class FailureType : std::uint8_t {
-  kDataSetupError = 0,
-  kOutOfService = 1,
-  kDataStall = 2,
-  kSmsSendFail = 3,
-  kVoiceCallDrop = 4,
-};
-
-inline constexpr std::size_t kFailureTypeCount = 5;
-
-constexpr std::string_view to_string(FailureType t) {
-  switch (t) {
-    case FailureType::kDataSetupError: return "Data_Setup_Error";
-    case FailureType::kOutOfService: return "Out_of_Service";
-    case FailureType::kDataStall: return "Data_Stall";
-    case FailureType::kSmsSendFail: return "Sms_Send_Fail";
-    case FailureType::kVoiceCallDrop: return "Voice_Call_Drop";
-  }
-  return "?";
-}
-
-constexpr std::size_t index_of(FailureType t) { return static_cast<std::size_t>(t); }
-
-/// Ground-truth annotations about why an event is NOT a true failure.
-/// The framework reports these events anyway; Android-MOD's filters must
-/// recognize and remove them. Carried alongside events for validation only —
-/// filter code must never read this (tests assert filter decisions against
-/// it instead).
-enum class FalsePositiveKind : std::uint8_t {
-  kNone = 0,               // a true failure
-  kBsOverloadRejection,    // rational setup rejection (§2.1)
-  kIncomingVoiceCall,      // connection disruption by voice call (§2.2)
-  kInsufficientBalance,    // account-state service suspension
-  kManualDisconnect,       // user toggled data off / airplane mode
-  kSystemSideStall,        // stall caused by local firewall/proxy/driver
-  kDnsResolutionOnly,      // resolver outage, data path healthy
-};
-
-constexpr bool is_false_positive(FalsePositiveKind k) {
-  return k != FalsePositiveKind::kNone;
-}
-
-std::string_view to_string(FalsePositiveKind k);
+// FailureType and FalsePositiveKind (with to_string/parse round trips) live
+// in common/names.h so the CLI and analysis layers share one spelling.
 
 /// A failure event as the framework reports it to listeners.
 struct FailureEvent {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/sim_time.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace cellrel {
@@ -112,10 +113,23 @@ class DataStallRecoverer {
   bool episode_active() const { return active_; }
   std::uint64_t episodes_started() const { return episodes_started_; }
 
+  /// Wires the recoverer to a metric sink ("recovery.*" namespace): per-stage
+  /// execution counters, per-outcome episode counters, and the episode
+  /// duration (sim time). Pass nullptr to detach.
+  void set_metrics(obs::MetricSink* sink);
+
  private:
+  struct Metrics {
+    obs::Counter* episodes = nullptr;
+    std::array<obs::Counter*, kRecoveryStageCount> stage_executed = {};
+    std::array<obs::Counter*, 5> outcome = {};
+    obs::SimTimerStat* episode_duration = nullptr;
+  };
+
   void arm_probation();
   void probation_expired();
   void finish(RecoveryOutcome outcome);
+  void record_episode(const RecoveryEpisode& ep);
 
   Simulator& sim_;
   ProbationSchedule schedule_;
@@ -128,6 +142,7 @@ class DataStallRecoverer {
   std::uint32_t max_cycles_ = 100;
   SimTime started_at_;
   std::uint64_t episodes_started_ = 0;
+  Metrics metrics_;
 };
 
 }  // namespace cellrel

@@ -104,6 +104,13 @@ void TelephonyManager::set_cell_context(const CellContext& ctx) {
   voice_.set_cell_context(ctx);
 }
 
+void TelephonyManager::set_metrics(obs::MetricSink* sink) {
+  ril_.set_metrics(sink);
+  dc_tracker_.set_metrics(sink);
+  stall_detector_.set_metrics(sink);
+  recoverer_.set_metrics(sink);
+}
+
 bool TelephonyManager::default_execute_stage(RecoveryStage stage) {
   // Execute the operation through the RIL (results are fire-and-forget at
   // this level; latency is the modem's) and decide effectiveness with the

@@ -89,6 +89,10 @@ class TelephonyManager {
   void set_cell_context(const CellContext& ctx);
   const CellContext& cell_context() const { return dc_tracker_.cell_context(); }
 
+  /// Fans a metric sink out to every instrumented component of the stack
+  /// (RIL, DcTracker, stall detector, recoverer). Pass nullptr to detach.
+  void set_metrics(obs::MetricSink* sink);
+
  private:
   bool default_execute_stage(RecoveryStage stage);
 

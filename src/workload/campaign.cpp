@@ -88,6 +88,9 @@ struct ShardResult {
   TraceDataset dataset;
   std::vector<RecoveryEpisode> recovery_episodes;
   OverheadAccum overhead;
+  /// Every device of the shard writes its metrics here; merged in
+  /// shard-index order after the join.
+  obs::MetricSink metrics;
   /// Ground-truth BS failure delta: one entry per kept failure. Applied to
   /// the registry at merge time instead of mutating shared counters from
   /// device code.
@@ -141,6 +144,7 @@ CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult
       }
     }
     overhead.merge(s.overhead);
+    result.metrics.merge(s.metrics);
     result.simulated_events += s.simulated_events;
     result.episodes_run += s.episodes_run;
     registry.apply_failure_delta(s.bs_failures);
@@ -406,6 +410,7 @@ void Campaign::DeviceRun::build_stack() {
       *sim_, rng_.fork(0xdeu), std::move(config), [this](std::vector<TraceRecord>&& batch) {
         for (auto& r : batch) out_.dataset.records.push_back(std::move(r));
       });
+  mod_->set_metrics(&out_.metrics);
   auto& tm = mod_->telephony();
   tm.register_failure_listener(this);
   mod_->monitor().set_observables_source([this] { return observables_; });
@@ -834,10 +839,20 @@ Campaign::Campaign(Scenario scenario)
 }
 
 CampaignResult Campaign::run() {
+  const std::vector<ScenarioError> errors = scenario_.validate();
+  CELLREL_CHECK(errors.empty()) << "invalid scenario:\n" << format_errors(errors);
+
+  // Campaign-level phase spans (wall clock — excluded from the default
+  // export, never fed back into simulation state).
+  obs::MetricRegistry campaign_metrics;
+
   PopulationBuilder builder;
-  Rng fleet_rng = master_rng_.fork(0xf1ee7ULL);
-  const std::vector<DeviceProfile> fleet =
-      builder.build(scenario_.device_count, fleet_rng);
+  std::vector<DeviceProfile> fleet;
+  {
+    obs::PhaseSpan span(campaign_metrics, "plan_fleet");
+    Rng fleet_rng = master_rng_.fork(0xf1ee7ULL);
+    fleet = builder.build(scenario_.device_count, fleet_rng);
+  }
 
   // Partition the fleet into fixed-size contiguous shards. The partition is
   // a pure function of the fleet (kDevicesPerShard is a constant), so the
@@ -861,30 +876,45 @@ CampaignResult Campaign::run() {
     }
   };
 
-  const std::uint32_t threads = resolved_thread_count(scenario_);
-  if (threads <= 1 || shard_count <= 1) {
-    for (std::size_t s = 0; s < shard_count; ++s) run_shard(s);
-  } else {
-    ThreadPool pool(std::min<std::size_t>(threads, shard_count));
-    std::vector<std::future<void>> pending;
-    pending.reserve(shard_count);
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      pending.push_back(pool.submit([&run_shard, s] { run_shard(s); }));
-    }
-    // Join; a shard that threw rethrows here, after every future is waited
-    // on, so no worker is left writing into a dead frame.
-    std::exception_ptr first_error;
-    for (auto& f : pending) {
-      try {
-        f.get();
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+  const std::uint32_t threads = scenario_.resolve_threads();
+  {
+    obs::PhaseSpan span(campaign_metrics, "run_shards");
+    if (threads <= 1 || shard_count <= 1) {
+      for (std::size_t s = 0; s < shard_count; ++s) run_shard(s);
+    } else {
+      ThreadPool pool(std::min<std::size_t>(threads, shard_count));
+      std::vector<std::future<void>> pending;
+      pending.reserve(shard_count);
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        pending.push_back(pool.submit([&run_shard, s] { run_shard(s); }));
       }
+      // Join; a shard that threw rethrows here, after every future is waited
+      // on, so no worker is left writing into a dead frame.
+      std::exception_ptr first_error;
+      for (auto& f : pending) {
+        try {
+          f.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
     }
-    if (first_error) std::rethrow_exception(first_error);
   }
 
-  return merge_shard_results(*registry_, std::move(shards));
+  CampaignResult result;
+  {
+    obs::PhaseSpan span(campaign_metrics, "merge");
+    result = merge_shard_results(*registry_, std::move(shards));
+  }
+  // Campaign-level facts. Gauges record the workload's shape, not the
+  // execution's: fleet size and shard count are pure functions of the
+  // scenario, so the deterministic export stays thread-count independent
+  // (the thread count itself deliberately stays out).
+  result.metrics.gauge("campaign.fleet.devices").set(static_cast<double>(fleet.size()));
+  result.metrics.gauge("campaign.shards").set(static_cast<double>(shard_count));
+  result.metrics.merge(campaign_metrics);
+  return result;
 }
 
 }  // namespace cellrel

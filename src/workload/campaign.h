@@ -37,6 +37,7 @@
 #include "bs/registry.h"
 #include "core/android_mod.h"
 #include "device/device.h"
+#include "obs/metrics.h"
 #include "workload/scenario.h"
 
 namespace cellrel {
@@ -59,6 +60,10 @@ struct CampaignResult {
   TraceDataset dataset;
   std::vector<RecoveryEpisode> recovery_episodes;
   OverheadSummary overhead;
+  /// Per-shard metric sinks merged in shard-index order plus campaign-level
+  /// phase timings; the sim-derived entries are bit-identical for every
+  /// `threads` value (see DESIGN.md, "Observability").
+  obs::MetricRegistry metrics;
   std::uint64_t simulated_events = 0;
   std::uint64_t episodes_run = 0;
 };

@@ -6,31 +6,64 @@
 
 namespace cellrel {
 
-std::uint32_t resolved_thread_count(const Scenario& scenario) {
-  std::uint32_t threads = scenario.threads;
+namespace {
+
+/// Upper bound on an explicit worker-thread request. Far above any real
+/// machine; catches sign errors and garbage input (e.g. "--threads -1"
+/// wrapping to 4 billion) before a pool is sized from it.
+constexpr std::uint32_t kMaxThreads = 4096;
+
+}  // namespace
+
+std::uint32_t Scenario::resolve_threads() const {
+  std::uint32_t resolved = threads;
   if (const char* env = std::getenv("CELLREL_THREADS")) {
-    threads = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+    resolved = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
   }
-  if (threads == 0) {
-    threads = static_cast<std::uint32_t>(ThreadPool::hardware_threads());
+  if (resolved == 0) {
+    resolved = static_cast<std::uint32_t>(ThreadPool::hardware_threads());
   }
-  return threads;
+  return resolved;
 }
 
-std::string_view to_string(PolicyVariant v) {
-  switch (v) {
-    case PolicyVariant::kStock: return "stock";
-    case PolicyVariant::kStabilityCompatible: return "stability-compatible";
+std::vector<ScenarioError> Scenario::validate() const {
+  std::vector<ScenarioError> errors;
+  if (device_count == 0) {
+    errors.push_back({"device_count", "fleet must contain at least one device"});
   }
-  return "?";
+  if (!(campaign_days > 0.0)) {
+    errors.push_back({"campaign_days", "campaign window must be positive"});
+  }
+  if (deployment.bs_count == 0) {
+    errors.push_back({"deployment.bs_count", "deployment must contain at least one BS"});
+  }
+  if (threads > kMaxThreads) {
+    errors.push_back({"threads", "worker-thread request exceeds " +
+                                     std::to_string(kMaxThreads) +
+                                     " (0 means one per hardware thread)"});
+  }
+  if (recovery == RecoveryVariant::kTimpOptimized) {
+    for (std::size_t i = 0; i < kRecoveryStageCount; ++i) {
+      if (!(timp_schedule.probation[i] > SimDuration::zero())) {
+        errors.push_back({"timp_schedule",
+                          "probation for stage " + std::to_string(i) +
+                              " must be positive (TIMP schedules are strictly "
+                              "positive by construction)"});
+      }
+    }
+  }
+  return errors;
 }
 
-std::string_view to_string(RecoveryVariant v) {
-  switch (v) {
-    case RecoveryVariant::kVanilla: return "vanilla-60s";
-    case RecoveryVariant::kTimpOptimized: return "timp-optimized";
+std::string format_errors(const std::vector<ScenarioError>& errors) {
+  std::string out;
+  for (const ScenarioError& e : errors) {
+    out += e.field;
+    out += ": ";
+    out += e.message;
+    out += '\n';
   }
-  return "?";
+  return out;
 }
 
 }  // namespace cellrel

@@ -5,29 +5,24 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bs/deployment.h"
+#include "common/names.h"
 #include "telephony/recovery.h"
 #include "workload/calibration.h"
 
 namespace cellrel {
 
-/// Which RAT selection policy 5G-capable devices run. Non-5G devices always
-/// run their Android version's stock policy.
-enum class PolicyVariant : std::uint8_t {
-  kStock = 0,             // Android 9 / Android 10 behaviour per model
-  kStabilityCompatible,   // the paper's §4.2 policy + 4G/5G dual connectivity
+// PolicyVariant and RecoveryVariant (with to_string/parse round trips) live
+// in common/names.h so the CLI and analysis layers share one spelling.
+
+/// One structured finding from Scenario::validate(): which field is broken
+/// and why. Campaigns refuse to run a scenario with any errors.
+struct ScenarioError {
+  std::string field;
+  std::string message;
 };
-
-std::string_view to_string(PolicyVariant v);
-
-/// Which Data_Stall recovery trigger devices run.
-enum class RecoveryVariant : std::uint8_t {
-  kVanilla = 0,     // fixed 60 s probations
-  kTimpOptimized,   // schedule produced by the TIMP optimizer
-};
-
-std::string_view to_string(RecoveryVariant v);
 
 struct Scenario {
   std::string name = "measurement";
@@ -59,12 +54,24 @@ struct Scenario {
   bool monitor_probing = true;
 
   Calibration calibration = default_calibration();
+
+  /// Structural sanity of the scenario: non-zero fleet/BS counts, a positive
+  /// campaign window, a sane thread request, and (when the TIMP recovery
+  /// variant is selected) strictly positive probations. Returns every
+  /// finding, empty when the scenario is runnable. Campaign::run and both
+  /// CLI tools call this on every entry path.
+  std::vector<ScenarioError> validate() const;
+
+  /// The worker-thread count a campaign will actually use: CELLREL_THREADS
+  /// (if set) overrides `threads`, and 0 resolves to the hardware thread
+  /// count. Always >= 1. The single home of the env-override logic — tools
+  /// and tests must not re-implement it.
+  std::uint32_t resolve_threads() const;
 };
 
-/// The worker-thread count a campaign will actually use for `scenario`:
-/// CELLREL_THREADS (if set) overrides scenario.threads, and 0 resolves to
-/// the hardware thread count. Always >= 1.
-std::uint32_t resolved_thread_count(const Scenario& scenario);
+/// Renders validate() findings as one "field: message" line each (the form
+/// the CLI tools print before exiting).
+std::string format_errors(const std::vector<ScenarioError>& errors);
 
 }  // namespace cellrel
 

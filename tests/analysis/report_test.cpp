@@ -1,0 +1,79 @@
+// Renderer edge cases: empty inputs must degrade to an explicit
+// "(no samples)" marker rather than dividing by zero or printing nothing,
+// and render_metrics must cover every metric kind.
+
+#include "analysis/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace cellrel {
+namespace {
+
+TEST(RenderSeries, EmptySeriesSaysNoSamples) {
+  Series s;
+  s.name = "empty-figure";
+  const std::string out = render_series(s);
+  EXPECT_EQ(out, "# empty-figure\n  (no samples)\n");
+}
+
+TEST(RenderSeries, NonEmptySeriesRendersEveryRow) {
+  Series s;
+  s.name = "fig";
+  s.labels = {"a", "bb"};
+  s.values = {1.0, 2.0};
+  const std::string out = render_series(s, /*bars=*/false, /*precision=*/1);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("1.0"), std::string::npos);
+  EXPECT_NE(out.find("2.0"), std::string::npos);
+  EXPECT_EQ(out.find("(no samples)"), std::string::npos);
+}
+
+TEST(RenderCdf, EmptySampleSetSaysNoSamples) {
+  const SampleSet samples;
+  const std::string out = render_cdf(samples, default_cdf_quantiles());
+  EXPECT_EQ(out, "  (no samples)\n");
+}
+
+TEST(RenderCdf, NonEmptySampleSetRendersQuantiles) {
+  SampleSet samples;
+  samples.add(1.0);
+  samples.add(2.0);
+  samples.add(3.0);
+  const std::string out = render_cdf(samples, default_cdf_quantiles());
+  EXPECT_NE(out.find("p050.0"), std::string::npos);
+  EXPECT_NE(out.find("n=3"), std::string::npos);
+  EXPECT_EQ(out.find("(no samples)"), std::string::npos);
+}
+
+TEST(RenderMetrics, EmptyRegistrySaysNoMetrics) {
+  const obs::MetricRegistry reg;
+  EXPECT_NE(render_metrics(reg).find("(no metrics)"), std::string::npos);
+}
+
+TEST(RenderMetrics, CoversEveryKind) {
+  obs::MetricRegistry reg;
+  reg.counter("c.events").add(7);
+  reg.gauge("g.devices").set(12.0);
+  reg.histogram("h.backoff", 0.0, 10.0, 5).add(3.0);
+  reg.sim_timer("t.latency").record(SimDuration::seconds(2.0));
+  reg.wall_timer("phase.run").record_s(0.5);
+  const std::string out = render_metrics(reg);
+  EXPECT_NE(out.find("c.events"), std::string::npos);
+  EXPECT_NE(out.find("counter"), std::string::npos);
+  EXPECT_NE(out.find("g.devices"), std::string::npos);
+  EXPECT_NE(out.find("gauge"), std::string::npos);
+  EXPECT_NE(out.find("h.backoff"), std::string::npos);
+  EXPECT_NE(out.find("histogram"), std::string::npos);
+  EXPECT_NE(out.find("t.latency"), std::string::npos);
+  EXPECT_NE(out.find("sim_timer"), std::string::npos);
+  // Wall timers DO show in the human-readable table (display surface).
+  EXPECT_NE(out.find("phase.run"), std::string::npos);
+  EXPECT_NE(out.find("wall_timer"), std::string::npos);
+  EXPECT_EQ(out.find("(no metrics)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellrel

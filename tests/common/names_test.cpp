@@ -1,0 +1,74 @@
+// Round-trip tests for the canonical enum names in common/names.h: every
+// to_string spelling parses back to the same enumerator, CLI aliases parse,
+// and garbage is rejected.
+
+#include "common/names.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel {
+namespace {
+
+TEST(Names, RatRoundTrip) {
+  for (Rat rat : kAllRats) {
+    const auto parsed = parse_rat(to_string(rat));
+    ASSERT_TRUE(parsed.has_value()) << to_string(rat);
+    EXPECT_EQ(*parsed, rat);
+  }
+  EXPECT_FALSE(parse_rat("6G").has_value());
+  EXPECT_FALSE(parse_rat("").has_value());
+}
+
+TEST(Names, FailureTypeRoundTrip) {
+  for (std::size_t i = 0; i < kFailureTypeCount; ++i) {
+    const auto t = static_cast<FailureType>(i);
+    const auto parsed = parse_failure_type(to_string(t));
+    ASSERT_TRUE(parsed.has_value()) << to_string(t);
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(parse_failure_type("Data_Setup").has_value());
+}
+
+TEST(Names, FalsePositiveKindRoundTrip) {
+  for (std::size_t i = 0; i < kFalsePositiveKindCount; ++i) {
+    const auto k = static_cast<FalsePositiveKind>(i);
+    const auto parsed = parse_false_positive_kind(to_string(k));
+    ASSERT_TRUE(parsed.has_value()) << to_string(k);
+    EXPECT_EQ(*parsed, k);
+  }
+  EXPECT_FALSE(parse_false_positive_kind("bogus").has_value());
+}
+
+TEST(Names, PolicyVariantRoundTripAndAlias) {
+  EXPECT_EQ(parse_policy_variant("stock"), PolicyVariant::kStock);
+  EXPECT_EQ(parse_policy_variant("stability-compatible"),
+            PolicyVariant::kStabilityCompatible);
+  // Short CLI alias.
+  EXPECT_EQ(parse_policy_variant("stability"), PolicyVariant::kStabilityCompatible);
+  EXPECT_FALSE(parse_policy_variant("Stock").has_value());
+  // to_string output always parses back.
+  EXPECT_EQ(parse_policy_variant(to_string(PolicyVariant::kStock)), PolicyVariant::kStock);
+  EXPECT_EQ(parse_policy_variant(to_string(PolicyVariant::kStabilityCompatible)),
+            PolicyVariant::kStabilityCompatible);
+}
+
+TEST(Names, RecoveryVariantRoundTripAndAliases) {
+  EXPECT_EQ(parse_recovery_variant("vanilla-60s"), RecoveryVariant::kVanilla);
+  EXPECT_EQ(parse_recovery_variant("timp-optimized"), RecoveryVariant::kTimpOptimized);
+  // Short CLI aliases.
+  EXPECT_EQ(parse_recovery_variant("vanilla"), RecoveryVariant::kVanilla);
+  EXPECT_EQ(parse_recovery_variant("timp"), RecoveryVariant::kTimpOptimized);
+  EXPECT_FALSE(parse_recovery_variant("60s").has_value());
+  EXPECT_EQ(parse_recovery_variant(to_string(RecoveryVariant::kVanilla)),
+            RecoveryVariant::kVanilla);
+  EXPECT_EQ(parse_recovery_variant(to_string(RecoveryVariant::kTimpOptimized)),
+            RecoveryVariant::kTimpOptimized);
+}
+
+TEST(Names, FalsePositivePredicate) {
+  EXPECT_FALSE(is_false_positive(FalsePositiveKind::kNone));
+  EXPECT_TRUE(is_false_positive(FalsePositiveKind::kManualDisconnect));
+}
+
+}  // namespace
+}  // namespace cellrel

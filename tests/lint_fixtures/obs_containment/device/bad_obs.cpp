@@ -1,0 +1,9 @@
+// device is not an instrumented module: including an obs header must trip
+// the "obs" rule.
+#include "obs/metrics.h"
+
+namespace cellrel {
+
+void count_something() {}
+
+}  // namespace cellrel

@@ -1,0 +1,9 @@
+// <chrono> outside the obs module must trip the "obs" rule even without a
+// clock read on any line.
+#include <chrono>
+
+namespace cellrel {
+
+using Millis = std::chrono::milliseconds;
+
+}  // namespace cellrel

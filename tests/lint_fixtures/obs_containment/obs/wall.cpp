@@ -1,0 +1,14 @@
+// The obs module owns the tree's only sanctioned wall-clock read: <chrono>
+// and steady_clock are allowed here and nowhere else.
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace cellrel::obs {
+
+std::uint64_t fixture_wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+}  // namespace cellrel::obs

@@ -1,0 +1,139 @@
+// MetricRegistry unit tests: handle stability, merge semantics (order,
+// gauges, histograms), timer accumulation, and PhaseSpan counting.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cellrel::obs {
+namespace {
+
+TEST(MetricRegistry, CounterHandleIsStableAndAccumulates) {
+  MetricRegistry reg;
+  Counter& c = reg.counter("a.b.c");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(reg.counter("a.b.c").value, 5u);
+  EXPECT_EQ(&reg.counter("a.b.c"), &c);
+}
+
+TEST(MetricRegistry, GaugeTracksLastWriteAndWriteCount) {
+  MetricRegistry reg;
+  Gauge& g = reg.gauge("x");
+  g.set(1.5);
+  g.set(-2.0);
+  EXPECT_DOUBLE_EQ(reg.gauge("x").value, -2.0);
+  EXPECT_EQ(reg.gauge("x").writes, 2u);
+}
+
+TEST(MetricRegistry, HistogramBucketEdges) {
+  MetricRegistry reg;
+  LinearHistogram& h = reg.histogram("lat", 0.0, 10.0, 5);
+  h.add(-0.1);   // underflow
+  h.add(0.0);    // first bin: [0, 2)
+  h.add(1.999);  // first bin
+  h.add(2.0);    // second bin: edge belongs to the upper bin
+  h.add(9.999);  // last bin
+  h.add(10.0);   // overflow: hi is exclusive
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  // Re-registration with the same shape returns the same histogram.
+  EXPECT_EQ(&reg.histogram("lat", 0.0, 10.0, 5), &h);
+}
+
+TEST(MetricRegistry, SimTimerAccumulatesIntegerMicroseconds) {
+  MetricRegistry reg;
+  SimTimerStat& t = reg.sim_timer("t");
+  t.record(SimDuration::seconds(1.5));
+  t.record(SimDuration::seconds(0.5));
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_EQ(t.total_us, 2'000'000);
+  EXPECT_EQ(t.max_us, 1'500'000);
+  EXPECT_DOUBLE_EQ(t.mean_s(), 1.0);
+}
+
+TEST(MetricRegistry, MergeSumsCountersAndTimers) {
+  MetricRegistry a, b;
+  a.counter("c").add(3);
+  b.counter("c").add(4);
+  b.counter("only_b").add(1);
+  a.sim_timer("t").record(SimDuration::seconds(1.0));
+  b.sim_timer("t").record(SimDuration::seconds(3.0));
+  a.merge(b);
+  EXPECT_EQ(a.counter("c").value, 7u);
+  EXPECT_EQ(a.counter("only_b").value, 1u);
+  EXPECT_EQ(a.sim_timer("t").count, 2u);
+  EXPECT_EQ(a.sim_timer("t").total_us, 4'000'000);
+  EXPECT_EQ(a.sim_timer("t").max_us, 3'000'000);
+}
+
+TEST(MetricRegistry, MergeGaugeIsLastWriterWins) {
+  MetricRegistry a, b;
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(2.0);
+  a.merge(b);
+  // b merged after a's writes: b is the later writer.
+  EXPECT_DOUBLE_EQ(a.gauge("g").value, 2.0);
+  EXPECT_EQ(a.gauge("g").writes, 2u);
+
+  // Merging a registry whose gauge was never written must NOT clobber.
+  MetricRegistry c;
+  c.gauge("g");  // registered, zero writes
+  a.merge(c);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value, 2.0);
+}
+
+TEST(MetricRegistry, MergeOrderIsDeterministicForGauges) {
+  // Merging [s0, s1] in index order must equal sequential execution: the
+  // last shard's write wins regardless of which shard finished first.
+  MetricRegistry s0, s1;
+  s0.gauge("last").set(10.0);
+  s1.gauge("last").set(20.0);
+  MetricRegistry merged;
+  merged.merge(s0);
+  merged.merge(s1);
+  EXPECT_DOUBLE_EQ(merged.gauge("last").value, 20.0);
+}
+
+TEST(MetricRegistry, MergeHistogramsBinWise) {
+  MetricRegistry a, b;
+  a.histogram("h", 0.0, 4.0, 4).add(1.0);
+  b.histogram("h", 0.0, 4.0, 4).add(1.5);
+  b.histogram("h", 0.0, 4.0, 4).add(3.5);
+  a.merge(b);
+  const LinearHistogram& h = a.histogram("h", 0.0, 4.0, 4);
+  EXPECT_EQ(h.bin(1), 2u);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(PhaseSpan, RecordsOneSampleUnderPhaseName) {
+  MetricRegistry reg;
+  {
+    PhaseSpan outer(reg, "outer");
+    {
+      PhaseSpan inner(reg, "inner");
+    }
+    {
+      PhaseSpan inner(reg, "inner");
+    }
+  }
+  EXPECT_EQ(reg.wall_timers().at("phase.outer").count, 1u);
+  EXPECT_EQ(reg.wall_timers().at("phase.inner").count, 2u);
+  // Inclusive nesting: the outer span covers at least the inner total.
+  EXPECT_GE(reg.wall_timers().at("phase.outer").total_s,
+            reg.wall_timers().at("phase.inner").total_s);
+}
+
+TEST(WallClock, IsMonotonic) {
+  const std::uint64_t a = wall_now_ns();
+  const std::uint64_t b = wall_now_ns();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace cellrel::obs

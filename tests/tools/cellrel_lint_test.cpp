@@ -162,6 +162,54 @@ TEST(CellrelLint, ThreadingAllowlistExactFiles) {
                        "threading"));
 }
 
+TEST(CellrelLint, ObsContainmentFixtureTree) {
+  const auto violations = lint_tree(kFixtures / "obs_containment");
+  // device/bad_obs.cpp (obs include) and net/wallclock.cpp (<chrono>) each
+  // trip the rule once; obs/wall.cpp is clean.
+  EXPECT_EQ(std::count_if(violations.begin(), violations.end(),
+                          [](const Violation& v) { return v.rule == "obs"; }),
+            2);
+  for (const auto& v : violations) {
+    EXPECT_NE(v.file, "obs/wall.cpp") << v.message;
+  }
+}
+
+TEST(CellrelLint, ObsIncludeAllowlist) {
+  const std::string source = "#include \"obs/metrics.h\"\n";
+  for (const char* module : {"obs", "radio", "telephony", "core", "workload", "analysis"}) {
+    EXPECT_FALSE(has_rule(
+        lint_source(source, module, std::string(module) + "/x.cpp", default_layers()),
+        "obs"))
+        << module;
+  }
+  for (const char* module : {"common", "sim", "bs", "device", "net", "timp"}) {
+    EXPECT_TRUE(has_rule(
+        lint_source(source, module, std::string(module) + "/x.cpp", default_layers()),
+        "obs"))
+        << module;
+  }
+}
+
+TEST(CellrelLint, ChronoConfinedToObs) {
+  const std::string source = "#include <chrono>\n";
+  EXPECT_TRUE(lint_source(source, "obs", "obs/metrics.cpp", default_layers()).empty());
+  EXPECT_TRUE(has_rule(lint_source(source, "sim", "sim/engine.cpp", default_layers()),
+                       "obs"));
+  EXPECT_TRUE(
+      has_rule(lint_source(source, "common", "common/x.cpp", default_layers()), "obs"));
+}
+
+TEST(CellrelLint, ObsExemptFromWallClockBansButNotRandomBans) {
+  const std::string clock_src = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(lint_source(clock_src, "obs", "obs/metrics.cpp", default_layers()).empty());
+  EXPECT_TRUE(has_rule(
+      lint_source(clock_src, "telephony", "telephony/x.cpp", default_layers()),
+      "nondeterminism"));
+  const std::string rand_src = "int r = std::rand();\n";
+  EXPECT_TRUE(has_rule(lint_source(rand_src, "obs", "obs/metrics.cpp", default_layers()),
+                       "nondeterminism"));
+}
+
 TEST(CellrelLint, NonThreadingAngleIncludesAllowed) {
   const std::string source =
       "#include <vector>\n#include <future_like_header>\n#include <cstdint>\n";

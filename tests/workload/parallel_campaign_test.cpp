@@ -9,8 +9,11 @@
 
 #include <cstdlib>
 
+#include <string>
+
 #include "bs/cell_id.h"
 #include "common/rng.h"
+#include "obs/export.h"
 #include "telephony/events.h"
 #include "workload/calibration.h"
 
@@ -159,14 +162,14 @@ TEST_F(ParallelCampaignTest, HardwareThreadCountAlsoIdentical) {
 
 TEST_F(ParallelCampaignTest, EnvOverrideControlsThreadResolution) {
   Scenario sc = parallel_scenario(7, 1);
-  EXPECT_EQ(resolved_thread_count(sc), 1u);
+  EXPECT_EQ(sc.resolve_threads(), 1u);
   ::setenv("CELLREL_THREADS", "4", /*overwrite=*/1);
-  EXPECT_EQ(resolved_thread_count(sc), 4u);
+  EXPECT_EQ(sc.resolve_threads(), 4u);
   ::setenv("CELLREL_THREADS", "0", 1);
-  EXPECT_GE(resolved_thread_count(sc), 1u);  // hardware concurrency
+  EXPECT_GE(sc.resolve_threads(), 1u);  // hardware concurrency
   ::unsetenv("CELLREL_THREADS");
   sc.threads = 0;
-  EXPECT_GE(resolved_thread_count(sc), 1u);
+  EXPECT_GE(sc.resolve_threads(), 1u);
 }
 
 TEST_F(ParallelCampaignTest, CountersPopulatedAndEqualAcrossThreadCounts) {
@@ -193,6 +196,44 @@ TEST_F(ParallelCampaignTest, CountersPopulatedAndEqualAcrossThreadCounts) {
   }
   EXPECT_EQ(bs_total, ground_truth);
   EXPECT_GT(bs_total, 0u);
+}
+
+TEST_F(ParallelCampaignTest, MetricsExportBitIdenticalAcrossThreadCounts) {
+  // The observability extension of the determinism contract: the JSON a
+  // campaign exports via --metrics-out must be byte-identical for every
+  // thread count, because shard sinks merge single-threaded in shard-index
+  // order and wall timers are excluded from the default export.
+  for (const std::uint64_t seed : {11ULL, 2021ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const CampaignResult baseline = Campaign(parallel_scenario(seed, 1)).run();
+    const std::string baseline_json = obs::metrics_to_json(baseline.metrics);
+    for (const std::uint32_t threads : {2u, 4u}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      const CampaignResult parallel =
+          Campaign(parallel_scenario(seed, threads)).run();
+      EXPECT_EQ(obs::metrics_to_json(parallel.metrics), baseline_json);
+      EXPECT_EQ(obs::metrics_to_csv(parallel.metrics),
+                obs::metrics_to_csv(baseline.metrics));
+    }
+  }
+}
+
+TEST_F(ParallelCampaignTest, CampaignMetricsArePopulated) {
+  const CampaignResult r = Campaign(parallel_scenario(31, 2)).run();
+  const auto& m = r.metrics;
+  // Instrumented layers all reported through the shard sinks.
+  EXPECT_GT(m.counters().at("dc_tracker.setup.attempts").value, 0u);
+  EXPECT_GT(m.counters().at("data_stall.checks").value, 0u);
+  EXPECT_GT(m.counters().at("monitor.events.handled").value, 0u);
+  EXPECT_GT(m.counters().at("recovery.episodes").value, 0u);
+  EXPECT_GT(m.sim_timers().at("ril.setup_data_call.latency").count, 0u);
+  // Workload-shape gauges: pure functions of the scenario, never threads.
+  EXPECT_EQ(m.gauges().at("campaign.fleet.devices").value, 300.0);
+  EXPECT_EQ(m.gauges().at("campaign.shards").value, 5.0);  // ceil(300/64)
+  EXPECT_EQ(m.gauges().count("campaign.threads"), 0u);
+  // Phase spans recorded wall time but stay out of the deterministic export.
+  EXPECT_EQ(m.wall_timers().at("phase.run_shards").count, 1u);
+  EXPECT_EQ(obs::metrics_to_json(m).find("phase.run_shards"), std::string::npos);
 }
 
 TEST_F(ParallelCampaignTest, ExpectedRecordEstimateTracksActualVolume) {

@@ -1,0 +1,147 @@
+// Scenario::validate() / resolve_threads() tests: structured errors for
+// every broken field, and the single home of the CELLREL_THREADS override.
+
+#include "workload/scenario.h"
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace cellrel {
+namespace {
+
+/// Saves and restores CELLREL_THREADS around a test so env mutation cannot
+/// leak into other tests (the suite may run them in any order).
+class ScopedThreadsEnv {
+ public:
+  ScopedThreadsEnv() {
+    if (const char* v = std::getenv("CELLREL_THREADS")) {
+      saved_ = v;
+      had_value_ = true;
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_value_) {
+      ::setenv("CELLREL_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("CELLREL_THREADS");
+    }
+  }
+  void set(const char* v) { ::setenv("CELLREL_THREADS", v, 1); }
+  void clear() { ::unsetenv("CELLREL_THREADS"); }
+
+ private:
+  std::string saved_;
+  bool had_value_ = false;
+};
+
+bool has_error_for(const std::vector<ScenarioError>& errors, std::string_view field) {
+  for (const auto& e : errors) {
+    if (e.field == field) return true;
+  }
+  return false;
+}
+
+TEST(ScenarioValidate, DefaultScenarioIsValid) {
+  EXPECT_TRUE(Scenario{}.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsEmptyFleet) {
+  Scenario sc;
+  sc.device_count = 0;
+  const auto errors = sc.validate();
+  EXPECT_TRUE(has_error_for(errors, "device_count"));
+}
+
+TEST(ScenarioValidate, RejectsNonPositiveCampaignWindow) {
+  Scenario sc;
+  sc.campaign_days = 0.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "campaign_days"));
+  sc.campaign_days = -1.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "campaign_days"));
+}
+
+TEST(ScenarioValidate, RejectsEmptyDeployment) {
+  Scenario sc;
+  sc.deployment.bs_count = 0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "deployment.bs_count"));
+}
+
+TEST(ScenarioValidate, RejectsAbsurdThreadRequest) {
+  Scenario sc;
+  sc.threads = 4096;
+  EXPECT_TRUE(sc.validate().empty());  // at the cap: fine
+  sc.threads = 4097;
+  EXPECT_TRUE(has_error_for(sc.validate(), "threads"));
+}
+
+TEST(ScenarioValidate, RejectsNonPositiveTimpProbationOnlyWhenTimpSelected) {
+  Scenario sc;
+  sc.timp_schedule.probation[1] = SimDuration::zero();
+  // Vanilla recovery never reads the TIMP schedule: no error.
+  sc.recovery = RecoveryVariant::kVanilla;
+  EXPECT_TRUE(sc.validate().empty());
+  sc.recovery = RecoveryVariant::kTimpOptimized;
+  EXPECT_TRUE(has_error_for(sc.validate(), "timp_schedule"));
+}
+
+TEST(ScenarioValidate, ReportsEveryFindingNotJustTheFirst) {
+  Scenario sc;
+  sc.device_count = 0;
+  sc.deployment.bs_count = 0;
+  sc.campaign_days = 0.0;
+  const auto errors = sc.validate();
+  EXPECT_EQ(errors.size(), 3u);
+  EXPECT_TRUE(has_error_for(errors, "device_count"));
+  EXPECT_TRUE(has_error_for(errors, "deployment.bs_count"));
+  EXPECT_TRUE(has_error_for(errors, "campaign_days"));
+}
+
+TEST(ScenarioValidate, FormatErrorsRendersOneLinePerFinding) {
+  Scenario sc;
+  sc.device_count = 0;
+  const std::string text = format_errors(sc.validate());
+  EXPECT_NE(text.find("device_count: "), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(ScenarioResolveThreads, FieldWinsWithoutEnv) {
+  ScopedThreadsEnv env;
+  env.clear();
+  Scenario sc;
+  sc.threads = 3;
+  EXPECT_EQ(sc.resolve_threads(), 3u);
+}
+
+TEST(ScenarioResolveThreads, ZeroResolvesToHardwareConcurrency) {
+  ScopedThreadsEnv env;
+  env.clear();
+  Scenario sc;
+  sc.threads = 0;
+  const std::uint32_t resolved = sc.resolve_threads();
+  EXPECT_GE(resolved, 1u);
+  EXPECT_EQ(resolved, static_cast<std::uint32_t>(ThreadPool::hardware_threads()));
+}
+
+TEST(ScenarioResolveThreads, EnvOverridesField) {
+  ScopedThreadsEnv env;
+  env.set("2");
+  Scenario sc;
+  sc.threads = 7;
+  EXPECT_EQ(sc.resolve_threads(), 2u);
+}
+
+TEST(ScenarioResolveThreads, EnvZeroMeansHardwareConcurrency) {
+  ScopedThreadsEnv env;
+  env.set("0");
+  Scenario sc;
+  sc.threads = 7;
+  EXPECT_EQ(sc.resolve_threads(),
+            static_cast<std::uint32_t>(ThreadPool::hardware_threads()));
+}
+
+}  // namespace
+}  // namespace cellrel

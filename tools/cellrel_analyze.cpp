@@ -3,41 +3,42 @@
 // Loads the CSVs written by `cellrel_campaign --out DIR` and prints the §3
 // analysis: headline statistics, device slices, ISP/BS landscape, error
 // codes, signal levels, and RAT transition matrices.
-//
-// Usage: cellrel_analyze DIR [--figures] [--report OUT.md]
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 
 #include "analysis/aggregate.h"
 #include "analysis/csv_io.h"
 #include "analysis/full_report.h"
 #include "analysis/report.h"
+#include "cli.h"
 
 using namespace cellrel;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: %s DATASET_DIR [--figures] [--report OUT.md]\n", argv[0]);
-    return 2;
-  }
   bool figures = false;
-  const char* report_path = nullptr;
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--figures") == 0) {
-      figures = true;
-    } else if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
-      report_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
-      return 2;
-    }
+  std::string report_path;
+
+  cli::Parser parser("cellrel_analyze", "DATASET_DIR");
+  parser.add_flag("--figures", "print CDF / transition-matrix figures",
+                  [&figures] { figures = true; });
+  parser.add_option("--report", "OUT.md", "write the full §3 report to OUT.md",
+                    cli::string_value(&report_path));
+
+  const cli::ParseResult parsed = parser.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::fputs(parser.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!parsed.ok || parsed.positionals.size() != 1) {
+    if (parsed.ok) std::fprintf(stderr, "expected exactly one DATASET_DIR argument\n");
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
   }
 
   TraceDataset dataset;
   try {
-    dataset = read_dataset_csv(argv[1]);
+    dataset = read_dataset_csv(parsed.positionals[0]);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -87,14 +88,14 @@ int main(int argc, char** argv) {
                                          "4G level-i -> 5G level-j").c_str());
   }
 
-  if (report_path) {
+  if (!report_path.empty()) {
     std::ofstream out(report_path);
     if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n", report_path);
+      std::fprintf(stderr, "error: cannot write %s\n", report_path.c_str());
       return 1;
     }
     out << render_full_report(dataset);
-    std::printf("\nfull report written to %s\n", report_path);
+    std::printf("\nfull report written to %s\n", report_path.c_str());
   }
   return 0;
 }

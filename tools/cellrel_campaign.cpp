@@ -2,40 +2,26 @@
 //
 // Runs a measurement (or enhancement) campaign, prints the headline report,
 // and optionally exports the backend dataset as CSV for offline analysis
-// with cellrel_analyze.
+// with cellrel_analyze, and/or the observability metrics as JSON/CSV.
 //
-// Usage:
-//   cellrel_campaign [--devices N] [--bs N] [--days D] [--seed S]
-//                    [--threads N] [--policy stock|stability]
-//                    [--recovery vanilla|timp] [--no-probing] [--no-dualconn]
-//                    [--out DIR] [--quiet]
-//
-// --threads 0 uses every hardware thread; any value produces a dataset
-// bit-identical to --threads 1 (the CELLREL_THREADS env var, if set, wins).
+// --threads 0 uses every hardware thread; any value produces a dataset AND
+// a --metrics-out file bit-identical to --threads 1 (the CELLREL_THREADS
+// env var, if set, wins).
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "analysis/aggregate.h"
 #include "analysis/csv_io.h"
 #include "analysis/report.h"
+#include "cli.h"
+#include "obs/export.h"
 #include "workload/campaign.h"
 
 using namespace cellrel;
 
 namespace {
-
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--devices N] [--bs N] [--days D] [--seed S]\n"
-               "          [--threads N] [--policy stock|stability]\n"
-               "          [--recovery vanilla|timp] [--no-probing] [--no-dualconn]\n"
-               "          [--out DIR] [--quiet]\n",
-               argv0);
-  std::exit(2);
-}
 
 void print_report(const CampaignResult& result) {
   const Aggregator agg(result.dataset);
@@ -55,6 +41,16 @@ void print_report(const CampaignResult& result) {
               static_cast<unsigned long long>(result.episodes_run));
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,53 +59,65 @@ int main(int argc, char** argv) {
   sc.device_count = 4000;
   sc.deployment.bs_count = 8000;
   std::string out_dir;
+  std::string metrics_out;
+  std::string metrics_csv;
+  bool print_metrics = false;
   bool quiet = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (arg == "--devices") {
-      sc.device_count = static_cast<std::uint32_t>(std::atoi(next()));
-    } else if (arg == "--bs") {
-      sc.deployment.bs_count = static_cast<std::uint32_t>(std::atoi(next()));
-    } else if (arg == "--days") {
-      sc.campaign_days = std::atof(next());
-    } else if (arg == "--seed") {
-      sc.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else if (arg == "--threads") {
-      sc.threads = static_cast<std::uint32_t>(std::atoi(next()));
-    } else if (arg == "--policy") {
-      const std::string v = next();
-      if (v == "stock") {
-        sc.policy = PolicyVariant::kStock;
-      } else if (v == "stability") {
-        sc.policy = PolicyVariant::kStabilityCompatible;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (arg == "--recovery") {
-      const std::string v = next();
-      if (v == "vanilla") {
-        sc.recovery = RecoveryVariant::kVanilla;
-      } else if (v == "timp") {
-        sc.recovery = RecoveryVariant::kTimpOptimized;
-      } else {
-        usage(argv[0]);
-      }
-    } else if (arg == "--no-probing") {
-      sc.monitor_probing = false;
-    } else if (arg == "--no-dualconn") {
-      sc.dual_connectivity = false;
-    } else if (arg == "--out") {
-      out_dir = next();
-    } else if (arg == "--quiet") {
-      quiet = true;
-    } else {
-      usage(argv[0]);
+  cli::Parser parser("cellrel_campaign");
+  parser.add_option("--devices", "N", "fleet size", cli::u32_value(&sc.device_count));
+  parser.add_option("--bs", "N", "base-station count",
+                    cli::u32_value(&sc.deployment.bs_count));
+  parser.add_option("--days", "D", "campaign length in days",
+                    cli::double_value(&sc.campaign_days));
+  parser.add_option("--seed", "S", "master RNG seed", cli::u64_value(&sc.seed));
+  parser.add_option("--threads", "N", "worker threads (0 = all hardware threads)",
+                    cli::u32_value(&sc.threads));
+  parser.add_option("--policy", "stock|stability", "RAT selection policy variant",
+                    [&sc](std::string_view v) {
+                      const auto parsed = parse_policy_variant(v);
+                      if (!parsed) return false;
+                      sc.policy = *parsed;
+                      return true;
+                    });
+  parser.add_option("--recovery", "vanilla|timp", "Data_Stall recovery schedule",
+                    [&sc](std::string_view v) {
+                      const auto parsed = parse_recovery_variant(v);
+                      if (!parsed) return false;
+                      sc.recovery = *parsed;
+                      return true;
+                    });
+  parser.add_flag("--no-probing", "disable the monitor's probe ladder",
+                  [&sc] { sc.monitor_probing = false; });
+  parser.add_flag("--no-dualconn", "disable 4G/5G dual connectivity",
+                  [&sc] { sc.dual_connectivity = false; });
+  parser.add_option("--out", "DIR", "export the dataset as CSV into DIR",
+                    cli::string_value(&out_dir));
+  parser.add_option("--metrics-out", "FILE", "export campaign metrics as JSON",
+                    cli::string_value(&metrics_out));
+  parser.add_option("--metrics-csv", "FILE", "export campaign metrics as CSV",
+                    cli::string_value(&metrics_csv));
+  parser.add_flag("--print-metrics", "print the metrics table after the report",
+                  [&print_metrics] { print_metrics = true; });
+  parser.add_flag("--quiet", "suppress the report", [&quiet] { quiet = true; });
+
+  const cli::ParseResult parsed = parser.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::fputs(parser.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!parsed.ok || !parsed.positionals.empty()) {
+    if (!parsed.positionals.empty()) {
+      std::fprintf(stderr, "unexpected argument: %s\n", parsed.positionals[0].c_str());
     }
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
+  }
+
+  const std::vector<ScenarioError> errors = sc.validate();
+  if (!errors.empty()) {
+    std::fprintf(stderr, "invalid scenario:\n%s", format_errors(errors).c_str());
+    return 2;
   }
 
   if (!quiet) {
@@ -119,11 +127,12 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sc.seed),
                 std::string(to_string(sc.policy)).c_str(),
                 std::string(to_string(sc.recovery)).c_str(),
-                sc.monitor_probing ? "on" : "off", resolved_thread_count(sc));
+                sc.monitor_probing ? "on" : "off", sc.resolve_threads());
   }
   Campaign campaign(sc);
   const CampaignResult result = campaign.run();
   if (!quiet) print_report(result);
+  if (print_metrics) std::fputs(render_metrics(result.metrics).c_str(), stdout);
 
   if (!out_dir.empty()) {
     write_dataset_csv(result.dataset, out_dir);
@@ -132,6 +141,14 @@ int main(int argc, char** argv) {
                   out_dir.c_str(), result.dataset.records.size(),
                   result.dataset.devices.size(), result.dataset.base_stations.size());
     }
+  }
+  if (!metrics_out.empty() &&
+      !write_file(metrics_out, obs::metrics_to_json(result.metrics))) {
+    return 1;
+  }
+  if (!metrics_csv.empty() &&
+      !write_file(metrics_csv, obs::metrics_to_csv(result.metrics))) {
+    return 1;
   }
   return 0;
 }

@@ -33,12 +33,21 @@ bool contains_token(const std::string& line, const std::string& token,
   return false;
 }
 
-/// Nondeterminism primitives banned outside common/rng. Matched after
+/// Unseeded-randomness primitives banned outside common/rng. Matched after
 /// comment/string stripping, on identifier boundaries.
-const std::vector<std::pair<std::string, std::string>>& banned_nondeterminism() {
+const std::vector<std::pair<std::string, std::string>>& banned_randomness() {
   static const std::vector<std::pair<std::string, std::string>> kBans = {
       {"std::rand", "use cellrel::Rng instead of std::rand"},
       {"srand", "use a seeded cellrel::Rng stream instead of srand"},
+      {"random_device", "unseeded entropy breaks reproducibility; seed a cellrel::Rng"},
+  };
+  return kBans;
+}
+
+/// Wall-clock primitives banned everywhere except the obs module, which owns
+/// the tree's single sanctioned host-clock read (obs::wall_now_ns).
+const std::vector<std::pair<std::string, std::string>>& banned_wall_clock() {
+  static const std::vector<std::pair<std::string, std::string>> kBans = {
       {"system_clock", "simulation code must use SimTime, not wall-clock time"},
       {"steady_clock", "simulation code must use SimTime, not wall-clock time"},
       {"high_resolution_clock", "simulation code must use SimTime, not wall-clock time"},
@@ -46,9 +55,19 @@ const std::vector<std::pair<std::string, std::string>>& banned_nondeterminism() 
       {"time(NULL)", "wall-clock seeding breaks reproducibility"},
       {"gettimeofday", "simulation code must use SimTime, not wall-clock time"},
       {"clock_gettime", "simulation code must use SimTime, not wall-clock time"},
-      {"random_device", "unseeded entropy breaks reproducibility; seed a cellrel::Rng"},
   };
   return kBans;
+}
+
+/// Modules that may depend on the observability layer: obs itself plus the
+/// instrumented subsystems. Everything else (common, sim, bs, device, net,
+/// timp) must stay metrics-free so the obs layer can never leak into core
+/// simulation state.
+bool obs_include_allowed(const std::string& module) {
+  static const std::set<std::string> kAllowed = {
+      "obs", "radio", "telephony", "core", "workload", "analysis",
+  };
+  return kAllowed.count(module) != 0;
 }
 
 std::string module_of_include(const std::string& include_path) {
@@ -92,8 +111,8 @@ char prev_nonspace(const std::string& text, std::size_t pos) {
 
 const std::map<std::string, int>& default_layers() {
   static const std::map<std::string, int> kLayers = {
-      {"common", 0}, {"sim", 0},
-      {"radio", 1},  {"bs", 1},   {"device", 1}, {"net", 1},
+      {"common", 0}, {"sim", 0}, {"obs", 0},
+      {"radio", 1},  {"bs", 1},  {"device", 1}, {"net", 1},
       {"telephony", 2}, {"core", 2},
       {"workload", 3},  {"timp", 3}, {"analysis", 3},
   };
@@ -206,6 +225,13 @@ std::vector<Violation> lint_source(const std::string& source, const std::string&
       if (close != std::string::npos) {
         const std::string target = raw.substr(open + 1, close - open - 1);
         const std::string dep = module_of_include(target);
+        if (dep == "obs" && !obs_include_allowed(module)) {
+          out.push_back(
+              {relative_path, lineno, "obs",
+               "module '" + module + "' may not include '" + target +
+                   "'; only instrumented modules (radio, telephony, core, "
+                   "workload, analysis) may depend on the observability layer"});
+        }
         if (!dep.empty() && dep != module) {
           const auto dep_it = layers.find(dep);
           if (dep_it == layers.end()) {
@@ -224,25 +250,43 @@ std::vector<Violation> lint_source(const std::string& source, const std::string&
       const auto aopen = raw.find('<');
       const auto aclose = aopen == std::string::npos ? std::string::npos
                                                      : raw.find('>', aopen + 1);
-      if (aclose != std::string::npos && !threading_allowlisted(relative_path)) {
+      if (aclose != std::string::npos) {
         const std::string target = raw.substr(aopen + 1, aclose - aopen - 1);
-        const auto& banned = threading_headers();
-        if (std::find(banned.begin(), banned.end(), target) != banned.end()) {
+        if (!threading_allowlisted(relative_path)) {
+          const auto& banned = threading_headers();
+          if (std::find(banned.begin(), banned.end(), target) != banned.end()) {
+            out.push_back(
+                {relative_path, lineno, "threading",
+                 "'<" + target + ">' is confined to common/thread_pool.* and the "
+                 "campaign shard executor; express parallelism as shard tasks "
+                 "on the ThreadPool"});
+          }
+        }
+        if (target == "chrono" && module != "obs") {
           out.push_back(
-              {relative_path, lineno, "threading",
-               "'<" + target + ">' is confined to common/thread_pool.* and the "
-               "campaign shard executor; express parallelism as shard tasks "
-               "on the ThreadPool"});
+              {relative_path, lineno, "obs",
+               "'<chrono>' is confined to the obs module; wall-clock reads "
+               "must flow through obs::wall_now_ns()"});
         }
       }
     }
 
     // --- rule: nondeterminism ------------------------------------------
     if (!is_rng_impl) {
-      for (const auto& [token, why] : banned_nondeterminism()) {
+      for (const auto& [token, why] : banned_randomness()) {
         if (contains_token(code, token)) {
           out.push_back({relative_path, lineno, "nondeterminism",
                          "'" + token + "' is banned in simulation code: " + why});
+        }
+      }
+      // obs owns the sanctioned wall-clock read; the bans still apply to
+      // every other module.
+      if (module != "obs") {
+        for (const auto& [token, why] : banned_wall_clock()) {
+          if (contains_token(code, token)) {
+            out.push_back({relative_path, lineno, "nondeterminism",
+                           "'" + token + "' is banned in simulation code: " + why});
+          }
         }
       }
     }

@@ -5,7 +5,7 @@
 //
 //  1. layering      — modules may only include same-or-lower layers, and the
 //                     module graph must stay acyclic:
-//                        layer 0: common, sim
+//                        layer 0: common, sim, obs
 //                        layer 1: radio, bs, device, net
 //                        layer 2: telephony, core
 //                        layer 3: workload, timp, analysis
@@ -14,6 +14,9 @@
 //                     std::random_device, ...) are banned everywhere except
 //                     common/rng, which owns the project's seeded streams.
 //                     Simulation output must be a pure function of the seed.
+//                     The obs module is additionally exempt from the
+//                     wall-clock bans (it owns the tree's only sanctioned
+//                     host-clock read), but not the randomness bans.
 //  3. naked-new     — `new` / `delete` expressions are banned; ownership goes
 //                     through containers and smart pointers.
 //  4. threading     — <thread>/<mutex>/<atomic>/... includes are confined to
@@ -22,6 +25,13 @@
 //                     common/check.cpp (the failure-handler lock). Parallel
 //                     code must be expressed as shard tasks whose results
 //                     merge deterministically, never as ad-hoc shared state.
+//  5. obs           — observability containment. Only the instrumented
+//                     modules (obs itself, radio, telephony, core, workload,
+//                     analysis) may include "obs/..." headers, and
+//                     <chrono> may only be included inside obs: every
+//                     wall-clock read in the tree flows through
+//                     obs::wall_now_ns(), whose results never feed
+//                     simulation state or the deterministic export surface.
 //
 // The library half is separated from main() so the rules are unit-testable
 // against fixture trees (tests/lint_fixtures).
@@ -40,8 +50,8 @@ struct Violation {
   std::string file;     // path relative to the scanned root
   std::size_t line = 0; // 1-based; 0 for tree-level findings (cycles)
   std::string rule;     // "layering" | "nondeterminism" | "naked-new" |
-                        // "threading" | "unknown-module" | "module-cycle" |
-                        // "io-error"
+                        // "threading" | "obs" | "unknown-module" |
+                        // "module-cycle" | "io-error"
   std::string message;
 };
 

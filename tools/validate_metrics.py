@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Validate a `cellrel_campaign --metrics-out` JSON file against the
+checked-in schema (docs/metrics.schema.json).
+
+Stdlib only: implements the small JSON-Schema subset the schema actually
+uses (type, properties, required, additionalProperties, items, minimum),
+so CI does not need a jsonschema package.
+
+Usage: validate_metrics.py METRICS.json SCHEMA.json
+Exit status: 0 when the document validates, 1 with one line per finding
+otherwise.
+"""
+
+import json
+import sys
+
+
+def type_matches(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    raise ValueError(f"unsupported schema type: {expected}")
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None and not type_matches(value, expected):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)) and value < minimum:
+        errors.append(f"{path}: {value} is below minimum {minimum}")
+
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key \"{key}\"")
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child_path = f"{path}.{key}" if path else key
+            if key in properties:
+                validate(item, properties[key], child_path, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key \"{key}\"")
+            elif isinstance(additional, dict):
+                validate(item, additional, child_path, errors)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as f:
+        document = json.load(f)
+    with open(argv[2], "r", encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(document, schema, "", errors)
+    if errors:
+        for e in errors:
+            print(f"{argv[1]}: {e}", file=sys.stderr)
+        return 1
+    print(f"{argv[1]}: valid ({len(document.get('counters', {}))} counters, "
+          f"{len(document.get('gauges', {}))} gauges, "
+          f"{len(document.get('histograms', {}))} histograms, "
+          f"{len(document.get('sim_timers', {}))} sim timers)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
