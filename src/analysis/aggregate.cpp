@@ -1,6 +1,7 @@
 #include "analysis/aggregate.h"
 
 #include <algorithm>
+#include <map>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -21,9 +22,11 @@ Aggregator::Aggregator(const TraceDataset& dataset) : data_(dataset) {}
 
 namespace {
 
-/// Kept-failure counts per device id.
-std::unordered_map<DeviceId, std::uint64_t> kept_counts(const TraceDataset& data) {
-  std::unordered_map<DeviceId, std::uint64_t> counts;
+/// Kept-failure counts per device id. Ordered on purpose: these counts are
+/// iterated on the deterministic export surface, and unordered iteration
+/// order would leak into exported bytes (cellrel-lint: ordered-export).
+std::map<DeviceId, std::uint64_t> kept_counts(const TraceDataset& data) {
+  std::map<DeviceId, std::uint64_t> counts;
   data.for_each_kept([&](const TraceRecord& r) { ++counts[r.device]; });
   return counts;
 }
@@ -73,7 +76,7 @@ void slice_devices(const TraceDataset& data, Classify classify,
     bucket_of[d.id] = b;
     ++out[static_cast<std::size_t>(b)].devices;
   }
-  std::unordered_map<DeviceId, std::uint64_t> counts = kept_counts(data);
+  const std::map<DeviceId, std::uint64_t> counts = kept_counts(data);
   for (const auto& [id, c] : counts) {
     const auto it = bucket_of.find(id);
     if (it == bucket_of.end()) continue;
@@ -125,7 +128,9 @@ std::array<double, kFailureTypeCount> Aggregator::mean_failures_per_device_by_ty
 }
 
 Aggregator::PerDeviceCounts Aggregator::per_device_counts() const {
-  std::unordered_map<DeviceId, std::array<std::uint64_t, kFailureTypeCount>> counts;
+  // Ordered: the per-device totals feed SampleSets whose insertion order
+  // must be a pure function of the dataset (ordered-export surface).
+  std::map<DeviceId, std::array<std::uint64_t, kFailureTypeCount>> counts;
   data_.for_each_kept([&](const TraceRecord& r) { ++counts[r.device][index_of(r.type)]; });
   PerDeviceCounts out;
   for (const auto& [id, per_type] : counts) {
@@ -249,7 +254,9 @@ Aggregator::normalized_prevalence_by_rat_level() const {
 }
 
 std::vector<Aggregator::ErrorCodeShare> Aggregator::top_error_codes(std::size_t n) const {
-  std::unordered_map<std::int32_t, std::uint64_t> counts;
+  // Ordered: with an unordered map, error codes tied on count would rank in
+  // implementation-defined order and flip table rows between platforms.
+  std::map<std::int32_t, std::uint64_t> counts;
   std::uint64_t total = 0;
   data_.for_each_kept([&](const TraceRecord& r) {
     if (r.type != FailureType::kDataSetupError) return;
@@ -265,8 +272,10 @@ std::vector<Aggregator::ErrorCodeShare> Aggregator::top_error_codes(std::size_t 
     s.percent = total ? 100.0 * static_cast<double>(c) / static_cast<double>(total) : 0.0;
     out.push_back(s);
   }
-  std::sort(out.begin(), out.end(),
-            [](const ErrorCodeShare& a, const ErrorCodeShare& b) { return a.count > b.count; });
+  std::sort(out.begin(), out.end(), [](const ErrorCodeShare& a, const ErrorCodeShare& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return static_cast<std::int32_t>(a.cause) < static_cast<std::int32_t>(b.cause);
+  });
   if (out.size() > n) out.resize(n);
   return out;
 }

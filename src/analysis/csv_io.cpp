@@ -95,7 +95,7 @@ std::optional<DurationMethod> duration_method_from_string(std::string_view s) {
 }
 
 std::optional<CellIdentity> cell_identity_from_string(std::string_view s) {
-  if (s.rfind("cdma:", 0) == 0) {
+  if (s.starts_with("cdma:")) {
     const auto parts = split(s.substr(5), '-');
     if (parts.size() != 3) return std::nullopt;
     const auto sid = parse_number<std::uint16_t>(parts[0]);

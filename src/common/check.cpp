@@ -10,12 +10,17 @@ namespace cellrel {
 namespace {
 
 std::mutex& handler_mutex() {
+  // Guards the handler slot below; never feeds simulation state.
+  // cellrel-lint: allow(shard-state) -- process-wide failure-handler lock
   static std::mutex m;
   return m;
 }
 
 CheckFailureHandler& handler_slot() {
-  static CheckFailureHandler handler;  // empty = default abort handler
+  // The installed contract-failure handler (empty = default abort handler),
+  // mutated only under handler_mutex and never read by simulation code.
+  // cellrel-lint: allow(shard-state) -- sanctioned failure-handler slot
+  static CheckFailureHandler handler;
   return handler;
 }
 

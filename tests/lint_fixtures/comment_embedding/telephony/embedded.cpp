@@ -1,0 +1,35 @@
+// Regression fixture: every banned token below lives inside a comment,
+// string, raw string, or char literal — the token-aware passes must report
+// NOTHING for this tree.
+//
+// srand(42); std::rand(); system_clock::now(); time(nullptr);
+// #include "workload/campaign.h"
+// #include <thread>
+// static int g_mutable = 0;
+// int* p = new int; delete p;
+// parse_rat("4G");
+#include <string>
+
+namespace cellrel {
+
+/* Multi-line comment with more bait:
+   std::random_device rd;
+   gettimeofday(&tv, nullptr);
+   for (auto& kv : unordered_counts) {}
+*/
+
+std::string bait() {
+  std::string s = "srand(1); new int; std::unordered_map iteration; #include <mutex>";
+  s += R"lint(
+    raw-string bait spanning lines:
+    static std::mutex m;  // cellrel-lint: allow(threading)
+    time(NULL); random_device{}(); delete ptr;
+  )lint";
+  const char c = '"';   // a quote char must not open a string
+  const char n = '\'';  // an escaped quote char must not end the literal
+  s.push_back(c);
+  s.push_back(n);
+  return s;  // "new" and 'rand' stay quoted
+}
+
+}  // namespace cellrel

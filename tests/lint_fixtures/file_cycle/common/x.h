@@ -1,0 +1,10 @@
+// Seeded violation: same-module include cycle x.h -> y.h -> x.h. This is
+// invisible to the module-layer DAG (both files live in "common") and only
+// the file-level include-graph pass can report it.
+#ifndef FIXTURE_COMMON_X_H
+#define FIXTURE_COMMON_X_H
+#include "common/y.h"
+namespace cellrel {
+struct X {};
+}  // namespace cellrel
+#endif  // FIXTURE_COMMON_X_H

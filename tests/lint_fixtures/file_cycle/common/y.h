@@ -1,0 +1,7 @@
+#ifndef FIXTURE_COMMON_Y_H
+#define FIXTURE_COMMON_Y_H
+#include "common/x.h"
+namespace cellrel {
+struct Y {};
+}  // namespace cellrel
+#endif  // FIXTURE_COMMON_Y_H

@@ -1,0 +1,7 @@
+// Control: classic #ifndef/#define guard is accepted.
+#ifndef FIXTURE_COMMON_GUARDED_H
+#define FIXTURE_COMMON_GUARDED_H
+namespace cellrel {
+struct Guarded {};
+}  // namespace cellrel
+#endif  // FIXTURE_COMMON_GUARDED_H

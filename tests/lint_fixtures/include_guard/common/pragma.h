@@ -1,0 +1,5 @@
+// Control: #pragma once is accepted.
+#pragma once
+namespace cellrel {
+struct Pragma {};
+}  // namespace cellrel

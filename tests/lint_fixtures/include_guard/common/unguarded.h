@@ -1,0 +1,4 @@
+// Seeded violation: header with neither #pragma once nor an include guard.
+namespace cellrel {
+struct Unguarded {};
+}  // namespace cellrel

@@ -1,0 +1,30 @@
+// Seeded violations: discarded results of must-check APIs. Two findings
+// expected; the consumed / (void)-cast / free-function neighbours stay silent.
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cellrel {
+
+struct Scenario {
+  std::vector<std::string> validate() const;
+};
+
+std::optional<int> parse_rat(const std::string& text);
+std::optional<int> parse_policy_variant(const std::string& text);
+void validate();  // free function: `validate` is member-only must-check
+
+void drive(const Scenario& sc, const std::string& text) {
+  sc.validate();                           // violation: result discarded
+  parse_rat(text);                         // violation: result discarded
+
+  const auto errors = sc.validate();       // ok: result consumed
+  (void)parse_policy_variant(text);        // ok: explicit discard
+  if (!parse_rat(text)) {                  // ok: result tested
+    return;
+  }
+  validate();                              // ok: free call, member-only rule
+  (void)errors;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,29 @@
+// Seeded violations: iteration over unordered containers inside the
+// deterministic export surface (module "analysis"). Three findings expected.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cellrel {
+
+std::unordered_map<std::string, std::uint64_t> tally();
+
+std::vector<std::string> export_rows() {
+  std::unordered_map<std::string, std::uint64_t> counts = tally();
+  std::vector<std::string> rows;
+  for (const auto& [name, n] : counts) {  // violation: unordered range-for
+    rows.push_back(name + ":" + std::to_string(n));
+  }
+  auto snapshot = tally();
+  auto it = snapshot.begin();             // violation: unordered .begin()
+  if (it != snapshot.end()) {
+    rows.push_back(it->first);
+  }
+  for (const auto& kv : tally()) {        // violation: unordered-returning call
+    rows.push_back(kv.first);
+  }
+  return rows;
+}
+
+}  // namespace cellrel

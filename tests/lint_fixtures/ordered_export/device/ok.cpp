@@ -1,0 +1,18 @@
+// Control: identical iteration patterns OUTSIDE the deterministic export
+// surface (module "device") must not be flagged.
+#include <string>
+#include <unordered_map>
+
+namespace cellrel {
+
+int count_models() {
+  std::unordered_map<std::string, int> models;
+  models.emplace("m1", 1);
+  int total = 0;
+  for (const auto& kv : models) {
+    total += kv.second;
+  }
+  return total;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,28 @@
+// Seeded violations: mutable shard-crossing state at namespace scope and
+// behind function-local statics. Three findings expected; the const /
+// constexpr / declaration-only neighbours must stay silent.
+#include <vector>
+
+namespace cellrel {
+
+int g_total = 0;                  // violation: mutable namespace-scope state
+static int g_hits = 0;            // violation: static mutable state
+
+constexpr int kShardLimit = 4;    // ok: constexpr
+static const int kRetries = 3;    // ok: const
+static int helper();              // ok: function declaration, not state
+
+struct Cache {
+  static int slot_count() { return 8; }  // ok: static member function
+  int warm = 0;                          // ok: member, not namespace scope
+};
+
+int lookup(int key) {
+  static std::vector<int> pool;   // violation: function-local mutable static
+  pool.push_back(key);
+  return helper() + static_cast<int>(pool.size());
+}
+
+static int helper() { return g_hits + g_total + kRetries + kShardLimit; }
+
+}  // namespace cellrel

@@ -1,0 +1,10 @@
+// Seeded violations: a reason-less suppression is itself a finding AND does
+// not silence the finding it points at. Two findings expected.
+namespace cellrel {
+
+int* leak_slot() {
+  int* q = new int(1);  // cellrel-lint: allow(naked-new)
+  return q;
+}
+
+}  // namespace cellrel

@@ -1,0 +1,14 @@
+// Control: a suppression that carries a justification silences the finding.
+namespace cellrel {
+
+int* make_slot() {
+  // cellrel-lint: allow(naked-new) -- fixture exercises justified suppression
+  int* p = new int(0);
+  return p;
+}
+
+void drop_slot(int* p) {
+  delete p;  // cellrel-lint: allow(naked-new) -- paired with make_slot above
+}
+
+}  // namespace cellrel

@@ -1,4 +1,6 @@
 // Allowlisted: the thread pool owns the threading primitives.
+#ifndef FIXTURE_COMMON_THREAD_POOL_H
+#define FIXTURE_COMMON_THREAD_POOL_H
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -6,3 +8,4 @@
 namespace cellrel {
 struct FixturePool {};
 }  // namespace cellrel
+#endif  // FIXTURE_COMMON_THREAD_POOL_H

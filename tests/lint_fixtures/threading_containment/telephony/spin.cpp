@@ -5,5 +5,5 @@
 #include "common/check.h"
 
 namespace cellrel {
-int spin_count = 0;
+const int spin_count = 0;
 }

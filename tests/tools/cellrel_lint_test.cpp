@@ -22,6 +22,11 @@ bool has_rule(const std::vector<Violation>& vs, const std::string& rule) {
                      [&](const Violation& v) { return v.rule == rule; });
 }
 
+long count_rule(const std::vector<Violation>& vs, const std::string& rule) {
+  return std::count_if(vs.begin(), vs.end(),
+                       [&](const Violation& v) { return v.rule == rule; });
+}
+
 TEST(CellrelLint, CleanModulePasses) {
   const auto violations = lint_tree(kFixtures / "clean");
   EXPECT_TRUE(violations.empty())
@@ -59,6 +64,249 @@ TEST(CellrelLint, NakedNewAndDeleteDetected) {
 TEST(CellrelLint, ModuleCycleDetected) {
   const auto violations = lint_tree(kFixtures / "cycle");
   ASSERT_TRUE(has_rule(violations, "module-cycle"));
+  // The same pair of headers is also a file-level include cycle.
+  EXPECT_TRUE(has_rule(violations, "include-cycle"));
+}
+
+TEST(CellrelLint, SameModuleIncludeCycleDetected) {
+  // x.h <-> y.h inside one module: invisible to the module DAG, caught by
+  // the file-level include-graph pass.
+  const auto violations = lint_tree(kFixtures / "file_cycle");
+  EXPECT_FALSE(has_rule(violations, "module-cycle"));
+  ASSERT_TRUE(has_rule(violations, "include-cycle"));
+  const auto it = std::find_if(violations.begin(), violations.end(), [](const Violation& v) {
+    return v.rule == "include-cycle";
+  });
+  EXPECT_NE(it->message.find("x.h"), std::string::npos);
+  EXPECT_NE(it->message.find("y.h"), std::string::npos);
+}
+
+TEST(CellrelLint, MissingIncludeGuardDetected) {
+  const auto violations = lint_tree(kFixtures / "include_guard");
+  EXPECT_EQ(count_rule(violations, "include-guard"), 1);
+  const auto it = std::find_if(violations.begin(), violations.end(), [](const Violation& v) {
+    return v.rule == "include-guard";
+  });
+  EXPECT_EQ(it->file, "common/unguarded.h");
+}
+
+TEST(CellrelLint, ShardStateFixtureTree) {
+  const auto violations = lint_tree(kFixtures / "shard_state");
+  EXPECT_EQ(count_rule(violations, "shard-state"), 3)
+      << [&] {
+           std::string all;
+           for (const auto& v : violations) {
+             all += v.file + ":" + std::to_string(v.line) + " [" + v.rule + "] " +
+                    v.message + "\n";
+           }
+           return all;
+         }();
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.rule, "shard-state");
+  }
+}
+
+TEST(CellrelLint, ShardStateInlineCases) {
+  const auto& opts = default_options();
+  // Mutable namespace-scope and function-local statics are flagged.
+  EXPECT_TRUE(has_rule(
+      lint_source("static int g_count = 0;\n", "sim", "sim/x.cpp", opts), "shard-state"));
+  EXPECT_TRUE(has_rule(
+      lint_source("int run() {\n  static int calls = 0;\n  return ++calls;\n}\n", "sim",
+                  "sim/x.cpp", opts),
+      "shard-state"));
+  EXPECT_TRUE(has_rule(
+      lint_source("thread_local int tls_slot = 0;\n", "sim", "sim/x.cpp", opts),
+      "shard-state"));
+  // const / constexpr / functions / members are not state.
+  EXPECT_FALSE(has_rule(
+      lint_source("static const int kA = 1;\nconstexpr int kB = 2;\n", "sim", "sim/x.cpp",
+                  opts),
+      "shard-state"));
+  EXPECT_FALSE(has_rule(
+      lint_source("static int helper();\nstatic int helper() { return 1; }\n", "sim",
+                  "sim/x.cpp", opts),
+      "shard-state"));
+  EXPECT_FALSE(has_rule(
+      lint_source("struct S {\n  int member = 0;\n  static int f() { return 2; }\n};\n",
+                  "sim", "sim/x.cpp", opts),
+      "shard-state"));
+  // An explicitly allowlisted file is exempt (the default allowlist is
+  // empty: in-tree exceptions use justified inline suppressions instead).
+  LintOptions allow = opts;
+  allow.shard_state_allowlist.insert("sim/x.cpp");
+  EXPECT_FALSE(
+      has_rule(lint_source("static int g = 0;\n", "sim", "sim/x.cpp", allow),
+               "shard-state"));
+}
+
+TEST(CellrelLint, OrderedExportFixtureTree) {
+  const auto violations = lint_tree(kFixtures / "ordered_export");
+  EXPECT_EQ(count_rule(violations, "ordered-export"), 3);
+  // The identical pattern outside the surface (device/) stays silent.
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.file, "analysis/agg.cpp") << v.message;
+  }
+}
+
+TEST(CellrelLint, OrderedExportSurfaceScoping) {
+  const auto& opts = default_options();
+  const std::string source =
+      "#include <unordered_map>\n"
+      "void f(const std::unordered_map<int, int>& m) {\n"
+      "  for (const auto& kv : m) { (void)kv; }\n"
+      "}\n";
+  // Flagged in the deterministic surface: obs, analysis, campaign merge path.
+  EXPECT_TRUE(has_rule(lint_source(source, "obs", "obs/export.cpp", opts),
+                       "ordered-export"));
+  EXPECT_TRUE(has_rule(lint_source(source, "analysis", "analysis/agg.cpp", opts),
+                       "ordered-export"));
+  EXPECT_TRUE(has_rule(lint_source(source, "workload", "workload/campaign.cpp", opts),
+                       "ordered-export"));
+  // Not flagged elsewhere, and ordered containers never trip it.
+  EXPECT_FALSE(has_rule(lint_source(source, "device", "device/x.cpp", opts),
+                        "ordered-export"));
+  const std::string ordered =
+      "#include <map>\n"
+      "void f(const std::map<int, int>& m) {\n"
+      "  for (const auto& kv : m) { (void)kv; }\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source(ordered, "analysis", "analysis/agg.cpp", opts),
+                        "ordered-export"));
+}
+
+TEST(CellrelLint, OrderedExportTracksAutoPropagation) {
+  const auto& opts = default_options();
+  const std::string source =
+      "#include <unordered_set>\n"
+      "std::unordered_set<int> keys();\n"
+      "int f() {\n"
+      "  auto snapshot = keys();\n"
+      "  int n = 0;\n"
+      "  for (int k : snapshot) { n += k; }\n"
+      "  return n;\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source(source, "analysis", "analysis/x.cpp", opts),
+                       "ordered-export"));
+}
+
+TEST(CellrelLint, NodiscardFixtureTree) {
+  const auto violations = lint_tree(kFixtures / "nodiscard");
+  EXPECT_EQ(count_rule(violations, "nodiscard-check"), 2);
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.rule, "nodiscard-check");
+  }
+}
+
+TEST(CellrelLint, NodiscardInlineCases) {
+  const auto& opts = default_options();
+  // Discarded member validate() and free parse_* are flagged.
+  EXPECT_TRUE(has_rule(
+      lint_source("void f(Scenario& sc) {\n  sc.validate();\n}\n", "workload",
+                  "workload/x.cpp", opts),
+      "nodiscard-check"));
+  EXPECT_TRUE(has_rule(
+      lint_source("void f() {\n  parse_rat(\"4G\");\n}\n", "common", "common/x.cpp", opts),
+      "nodiscard-check"));
+  // Consumed, (void)-cast, tested, and free `validate()` are fine.
+  EXPECT_FALSE(has_rule(
+      lint_source("void f(Scenario& sc) {\n  auto errs = sc.validate();\n  (void)errs;\n}\n",
+                  "workload", "workload/x.cpp", opts),
+      "nodiscard-check"));
+  EXPECT_FALSE(has_rule(
+      lint_source("void f() {\n  (void)parse_rat(\"4G\");\n}\n", "common", "common/x.cpp",
+                  opts),
+      "nodiscard-check"));
+  EXPECT_FALSE(has_rule(
+      lint_source("bool f() {\n  return parse_rat(\"4G\").has_value();\n}\n", "common",
+                  "common/x.cpp", opts),
+      "nodiscard-check"));
+  EXPECT_FALSE(has_rule(
+      lint_source("void f() {\n  if (parse_rat(\"4G\")) {\n  }\n}\n", "common",
+                  "common/x.cpp", opts),
+      "nodiscard-check"));
+  EXPECT_FALSE(has_rule(
+      lint_source("void validate();\nvoid f() {\n  validate();\n}\n", "common",
+                  "common/x.cpp", opts),
+      "nodiscard-check"));
+}
+
+TEST(CellrelLint, SuppressionFixtureTree) {
+  // good.cpp: justified suppressions silence both naked-new findings.
+  // bad.cpp: a reason-less marker yields bad-suppression AND leaves the
+  // naked-new finding live.
+  const auto violations = lint_tree(kFixtures / "suppression");
+  EXPECT_EQ(count_rule(violations, "bad-suppression"), 1);
+  EXPECT_EQ(count_rule(violations, "naked-new"), 1);
+  for (const auto& v : violations) {
+    EXPECT_EQ(v.file, "sim/bad.cpp") << v.rule << ": " << v.message;
+  }
+}
+
+TEST(CellrelLint, SuppressionSameLineAndNextLine) {
+  const auto& opts = default_options();
+  EXPECT_TRUE(
+      lint_source("int* f() {\n"
+                  "  return new int;  // cellrel-lint: allow(naked-new) -- why not\n"
+                  "}\n",
+                  "sim", "sim/x.cpp", opts)
+          .empty());
+  EXPECT_TRUE(
+      lint_source("int* f() {\n"
+                  "  // cellrel-lint: allow(naked-new) -- next-line form\n"
+                  "  return new int;\n"
+                  "}\n",
+                  "sim", "sim/x.cpp", opts)
+          .empty());
+  // A suppression for rule A does not silence rule B.
+  EXPECT_TRUE(has_rule(
+      lint_source("int* f() {\n"
+                  "  return new int;  // cellrel-lint: allow(threading) -- wrong rule\n"
+                  "}\n",
+                  "sim", "sim/x.cpp", opts),
+      "naked-new"));
+}
+
+TEST(CellrelLint, EmptyReasonSuppressionHardFails) {
+  const auto& opts = default_options();
+  const auto violations = lint_source(
+      "int* p = new int;  // cellrel-lint: allow(naked-new)\n", "sim", "sim/x.cpp", opts);
+  EXPECT_TRUE(has_rule(violations, "bad-suppression"));
+  EXPECT_TRUE(has_rule(violations, "naked-new"))
+      << "a reason-less marker must not silence the finding";
+}
+
+TEST(CellrelLint, CommentEmbeddingFixtureTreeIsClean) {
+  const auto violations = lint_tree(kFixtures / "comment_embedding");
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.file << ":" << v.line << " [" << v.rule << "] " << v.message;
+  }
+}
+
+TEST(CellrelLint, RawStringAndCharLiteralBaitIsExempt) {
+  const auto& opts = default_options();
+  const std::string source =
+      "int f() {\n"
+      "  auto s = R\"x(srand(1); new int; #include <thread>)x\";\n"
+      "  char q = '\\'';\n"
+      "  int after = 0;  // 'after' proves the char literal closed correctly\n"
+      "  return static_cast<int>(s.size()) + q + after;\n"
+      "}\n";
+  const auto violations = lint_source(source, "telephony", "telephony/x.cpp", opts);
+  EXPECT_TRUE(violations.empty())
+      << violations[0].rule << ": " << violations[0].message;
+}
+
+TEST(CellrelLint, RuleCatalogCoversEmittedRules) {
+  const auto& catalog = rule_catalog();
+  for (const char* id :
+       {"layering", "nondeterminism", "naked-new", "threading", "obs", "shard-state",
+        "ordered-export", "nodiscard-check", "module-cycle", "include-cycle",
+        "include-guard", "bad-suppression", "unknown-module", "io-error"}) {
+    EXPECT_TRUE(std::any_of(catalog.begin(), catalog.end(),
+                            [&](const RuleInfo& r) { return r.id == id; }))
+        << id << " missing from rule_catalog()";
+  }
 }
 
 TEST(CellrelLint, RealSourceTreeIsClean) {
@@ -77,7 +325,7 @@ TEST(CellrelLint, CommentsAndStringsAreExempt) {
       "/* system_clock in a block comment\n"
       "   spanning lines */\n"
       "const char* s = \"new delete std::rand()\";\n"
-      "int x = 0;\n";
+      "const int x = 0;\n";
   const auto violations = lint_source(source, "sim", "sim/f.cpp", default_layers());
   EXPECT_TRUE(violations.empty());
 }
@@ -119,10 +367,13 @@ TEST(CellrelLint, UnknownIncludeModuleFlagged) {
 TEST(CellrelLint, IdentifierBoundariesRespected) {
   // Identifiers merely containing banned tokens must not trip the scanner.
   const std::string source =
-      "int renewal = 0;\n"
-      "int new_count = renewal;\n"
       "void undelete_all();\n"
-      "int mysrand_seed = 3;\n";
+      "int f() {\n"
+      "  int renewal = 0;\n"
+      "  int new_count = renewal;\n"
+      "  int mysrand_seed = 3;\n"
+      "  return new_count + mysrand_seed;\n"
+      "}\n";
   const auto violations = lint_source(source, "common", "common/ok.h", default_layers());
   EXPECT_TRUE(violations.empty());
 }
@@ -200,7 +451,7 @@ TEST(CellrelLint, ChronoConfinedToObs) {
 }
 
 TEST(CellrelLint, ObsExemptFromWallClockBansButNotRandomBans) {
-  const std::string clock_src = "auto t = std::chrono::steady_clock::now();\n";
+  const std::string clock_src = "long f() {\n  auto t = std::chrono::steady_clock::now();\n  return t.time_since_epoch().count();\n}\n";
   EXPECT_TRUE(lint_source(clock_src, "obs", "obs/metrics.cpp", default_layers()).empty());
   EXPECT_TRUE(has_rule(
       lint_source(clock_src, "telephony", "telephony/x.cpp", default_layers()),

@@ -1,0 +1,248 @@
+// Tests for the cellrel-lint lexer: token kinds, line provenance, the
+// C++ corner cases the rules depend on (raw strings, line continuations,
+// multi-line comments, char literals, digit separators), and suppression
+// marker extraction.
+
+#include "lint/lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cellrel::lint {
+namespace {
+
+std::vector<std::string> idents(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kIdentifier) out.push_back(t.text);
+  }
+  return out;
+}
+
+const Token* find_text(const std::vector<Token>& toks, const std::string& text) {
+  for (const auto& t : toks) {
+    if (t.text == text) return &t;
+  }
+  return nullptr;
+}
+
+TEST(LintLexer, BasicKindsAndLines) {
+  const auto toks = lex("int x = 42;\nreturn x;\n");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_TRUE(toks[0].starts_line);
+  EXPECT_FALSE(toks[1].starts_line);  // x
+  const Token* num = find_text(toks, "42");
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->kind, TokKind::kNumber);
+  const Token* ret = find_text(toks, "return");
+  ASSERT_NE(ret, nullptr);
+  EXPECT_EQ(ret->line, 2u);
+  EXPECT_TRUE(ret->starts_line);
+}
+
+TEST(LintLexer, LineCommentsBecomeCommentTokens) {
+  const auto toks = lex("int a; // trailing new delete srand\nint b;\n");
+  const Token* comment = nullptr;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kComment) comment = &t;
+  }
+  ASSERT_NE(comment, nullptr);
+  EXPECT_NE(comment->text.find("srand"), std::string::npos);
+  // None of the banned words leak out as identifiers.
+  for (const auto& name : idents(toks)) {
+    EXPECT_NE(name, "new");
+    EXPECT_NE(name, "srand");
+  }
+  // code_tokens drops the comment entirely.
+  for (const auto& t : code_tokens(toks)) {
+    EXPECT_NE(t.kind, TokKind::kComment);
+  }
+}
+
+TEST(LintLexer, MultiLineBlockCommentKeepsLineNumbers) {
+  const auto toks = lex("/* line one\n line two\n line three */\nint after;\n");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, TokKind::kComment);
+  EXPECT_EQ(toks[0].line, 1u);  // comment starts on line 1
+  const Token* after = find_text(toks, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 4u);  // the 3-line comment advanced the counter
+  const Token* decl = find_text(toks, "int");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_TRUE(decl->starts_line);  // first code token of line 4
+}
+
+TEST(LintLexer, StringContentsNeverBecomeIdentifiers) {
+  const auto toks = lex("const char* s = \"new delete; std::rand()\";\n");
+  const auto names = idents(toks);
+  for (const auto& name : names) {
+    EXPECT_NE(name, "new");
+    EXPECT_NE(name, "rand");
+  }
+  const Token* str = nullptr;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kString) str = &t;
+  }
+  ASSERT_NE(str, nullptr);
+  EXPECT_NE(str->text.find("std::rand"), std::string::npos);
+}
+
+TEST(LintLexer, EscapedQuotesStayInsideStrings) {
+  const auto toks = lex("auto s = \"a \\\" b\"; int tail = 0;\n");
+  const Token* tail = find_text(toks, "tail");
+  ASSERT_NE(tail, nullptr) << "escaped quote terminated the string early";
+  EXPECT_EQ(tail->kind, TokKind::kIdentifier);
+}
+
+TEST(LintLexer, RawStringsSwallowEverything) {
+  const std::string src =
+      "auto s = R\"lint(\n"
+      "  srand(7); // cellrel-lint: allow(threading)\n"
+      "  \"inner quotes\" and )mismatched( delims\n"
+      ")lint\";\n"
+      "int after_raw = 1;\n";
+  const auto toks = lex(src);
+  for (const auto& name : idents(toks)) {
+    EXPECT_NE(name, "srand");
+  }
+  const Token* after = find_text(toks, "after_raw");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 5u);  // raw-string newlines still count
+  // The fake suppression inside the raw string is not a comment token, so
+  // the suppression scanner cannot see it.
+  EXPECT_TRUE(extract_suppressions(toks).empty());
+}
+
+TEST(LintLexer, EncodedStringPrefixes) {
+  const auto toks = lex("auto a = u8\"x\"; auto b = L\"y\"; auto c = U\"z\";\n");
+  int strings = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(strings, 3);
+}
+
+TEST(LintLexer, CharLiteralsIncludingEscapes) {
+  const auto toks = lex("char a = 'x'; char q = '\\''; char s = '\\\\'; int done = 0;\n");
+  int chars = 0;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kCharLit) ++chars;
+  }
+  EXPECT_EQ(chars, 3);
+  EXPECT_NE(find_text(toks, "done"), nullptr)
+      << "escaped quote inside char literal derailed the lexer";
+}
+
+TEST(LintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  const auto toks = lex("long big = 1'000'000; int next = 2;\n");
+  const Token* big = find_text(toks, "1'000'000");
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(big->kind, TokKind::kNumber);
+  EXPECT_NE(find_text(toks, "next"), nullptr);
+}
+
+TEST(LintLexer, LineContinuationsKeepPhysicalLines) {
+  // The macro body spans three physical lines joined by splices: the
+  // tokens report their physical lines, but only the first token of the
+  // logical line has starts_line set.
+  const std::string src =
+      "#define ADD(a, b) \\\n"
+      "  ((a) + \\\n"
+      "   (b))\n"
+      "int after_macro = 0;\n";
+  const auto toks = lex(src);
+  const Token* b_tok = nullptr;
+  for (const auto& t : toks) {
+    if (t.text == "b" && t.line == 3) b_tok = &t;
+  }
+  ASSERT_NE(b_tok, nullptr) << "splice lost physical line numbers";
+  EXPECT_FALSE(b_tok->starts_line) << "continuation line is not a new logical line";
+  const Token* after = find_text(toks, "after_macro");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 4u);
+  const Token* decl = find_text(toks, "int");
+  ASSERT_NE(decl, nullptr);
+  EXPECT_EQ(decl->line, 4u);
+  EXPECT_TRUE(decl->starts_line);  // line 4 opens a fresh logical line
+}
+
+TEST(LintLexer, SplicedIdentifierJoins) {
+  // A splice mid-identifier joins the halves into one token.
+  const auto toks = lex("int spli\\\nced = 1;\n");
+  EXPECT_NE(find_text(toks, "spliced"), nullptr);
+}
+
+TEST(LintLexer, HeaderNameAfterInclude) {
+  const auto toks = lex("#include <vector>\n#include \"common/check.h\"\nint a = b < c > d;\n");
+  const Token* hdr = nullptr;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kHeaderName) hdr = &t;
+  }
+  ASSERT_NE(hdr, nullptr);
+  EXPECT_EQ(hdr->text, "vector");
+  const Token* quoted = nullptr;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kString) quoted = &t;
+  }
+  ASSERT_NE(quoted, nullptr);
+  EXPECT_EQ(quoted->text, "common/check.h");
+  // `<` in an ordinary expression stays punctuation, not a header-name.
+  EXPECT_NE(find_text(toks, "c"), nullptr);
+}
+
+TEST(LintLexer, MultiCharPunctuators) {
+  const auto toks = lex("a::b->c << d;\n");
+  EXPECT_NE(find_text(toks, "::"), nullptr);
+  EXPECT_NE(find_text(toks, "->"), nullptr);
+  EXPECT_NE(find_text(toks, "<<"), nullptr);
+}
+
+TEST(LintLexer, SuppressionExtraction) {
+  const std::string src =
+      "int* p = new int;  // cellrel-lint: allow(naked-new) -- fixture slot\n"
+      "// cellrel-lint: allow(shard-state) -- next-line form\n"
+      "static int g = 0;\n";
+  const auto sups = extract_suppressions(lex(src));
+  ASSERT_EQ(sups.size(), 2u);
+  EXPECT_EQ(sups[0].line, 1u);
+  EXPECT_EQ(sups[0].rule, "naked-new");
+  EXPECT_EQ(sups[0].reason, "fixture slot");
+  EXPECT_TRUE(sups[0].line_has_code);
+  EXPECT_EQ(sups[1].line, 2u);
+  EXPECT_EQ(sups[1].rule, "shard-state");
+  EXPECT_FALSE(sups[1].line_has_code);
+}
+
+TEST(LintLexer, SuppressionCommaListSharesReason) {
+  const auto sups = extract_suppressions(
+      lex("// cellrel-lint: allow(threading, obs) -- shared justification\nint x;\n"));
+  ASSERT_EQ(sups.size(), 2u);
+  EXPECT_EQ(sups[0].rule, "threading");
+  EXPECT_EQ(sups[1].rule, "obs");
+  EXPECT_EQ(sups[0].reason, "shared justification");
+  EXPECT_EQ(sups[1].reason, "shared justification");
+}
+
+TEST(LintLexer, SuppressionWithoutReasonIsEmpty) {
+  const auto sups =
+      extract_suppressions(lex("int* p = new int;  // cellrel-lint: allow(naked-new)\n"));
+  ASSERT_EQ(sups.size(), 1u);
+  EXPECT_TRUE(sups[0].reason.empty());
+}
+
+TEST(LintLexer, MalformedInputNeverCrashes) {
+  // Unterminated constructs degrade gracefully.
+  EXPECT_NO_THROW(lex("\"unterminated string\n"));
+  EXPECT_NO_THROW(lex("/* unterminated comment\n"));
+  EXPECT_NO_THROW(lex("'"));
+  EXPECT_NO_THROW(lex("R\"x(unterminated raw\n"));
+  EXPECT_NO_THROW(lex("\\"));
+}
+
+}  // namespace
+}  // namespace cellrel::lint

@@ -1,44 +1,155 @@
-// cellrel-lint CLI: layering, determinism, and ownership checks for the
-// cellrel source tree. Registered as a ctest so tier-1 fails on violations.
+// cellrel-lint CLI: token-aware layering, determinism, and ownership checks
+// for the cellrel source tree. Registered as a ctest so tier-1 fails on
+// violations.
 //
-//   cellrel_lint <src-root> [<src-root>...]
+//   cellrel_lint <src-root> [<src-root>...] [options]
 //
-// Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+// Options:
+//   --sarif FILE           also write findings as SARIF 2.1.0 JSON
+//   --baseline FILE        read the accepted-findings baseline
+//   --fail-on-new          fail only on findings absent from the baseline
+//   --write-baseline FILE  write the current findings as a new baseline
+//
+// Exit codes: 0 = clean (or only baselined findings with --fail-on-new),
+// 1 = violations found, 2 = usage or I/O error.
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "cli.h"
 #include "lint/cellrel_lint.h"
+#include "lint/report.h"
+
+namespace {
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <src-root> [<src-root>...]\n"
-                 "Checks module layering, determinism bans, and naked new/delete.\n",
-                 argv[0]);
+  using cellrel::lint::ReportEntry;
+
+  std::string sarif_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool fail_on_new = false;
+
+  cellrel::cli::Parser parser("cellrel_lint", "SRC_ROOT [SRC_ROOT...]");
+  parser.add_option("--sarif", "FILE", "write findings as SARIF 2.1.0 JSON",
+                    cellrel::cli::string_value(&sarif_path));
+  parser.add_option("--baseline", "FILE", "accepted-findings baseline to read",
+                    cellrel::cli::string_value(&baseline_path));
+  parser.add_flag("--fail-on-new", "fail only on findings absent from --baseline",
+                  [&] { fail_on_new = true; });
+  parser.add_option("--write-baseline", "FILE", "write current findings as a baseline",
+                    cellrel::cli::string_value(&write_baseline_path));
+
+  const cellrel::cli::ParseResult r = parser.parse(argc, argv);
+  if (r.help_requested) {
+    std::fputs(parser.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!r.ok || r.positionals.empty()) {
+    if (r.positionals.empty() && r.ok) {
+      std::fputs("cellrel_lint: at least one SRC_ROOT is required\n", stderr);
+    }
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
+  }
+  if (fail_on_new && baseline_path.empty()) {
+    std::fputs("cellrel_lint: --fail-on-new requires --baseline FILE\n", stderr);
     return 2;
   }
 
-  std::size_t total = 0;
+  std::vector<ReportEntry> entries;
   bool io_error = false;
-  for (int i = 1; i < argc; ++i) {
-    const auto violations = cellrel::lint::lint_tree(argv[i]);
+  for (const std::string& root : r.positionals) {
+    const auto violations = cellrel::lint::lint_tree(root);
     for (const auto& v : violations) {
       if (v.rule == "io-error") io_error = true;
-      const std::string where =
-          v.file.empty() ? std::string(argv[i])
-                         : std::string(argv[i]) + "/" + v.file + ":" +
-                               std::to_string(v.line);
-      std::fprintf(stderr, "%s: [%s] %s\n", where.c_str(), v.rule.c_str(),
-                   v.message.c_str());
+      ReportEntry e;
+      e.rule = v.rule;
+      e.uri = v.file.empty() ? std::string() : root + "/" + v.file;
+      e.line = v.line;
+      e.message = v.message;
+      entries.push_back(std::move(e));
     }
-    total += violations.size();
+  }
+  if (io_error) {
+    for (const auto& e : entries) {
+      std::fprintf(stderr, "%s: [%s] %s\n",
+                   e.uri.empty() ? "(tree)" : e.uri.c_str(), e.rule.c_str(),
+                   e.message.c_str());
+    }
+    return 2;
   }
 
-  if (io_error) return 2;
-  if (total > 0) {
-    std::fprintf(stderr, "cellrel-lint: %zu violation(s) found\n", total);
+  if (!write_baseline_path.empty()) {
+    if (!write_file(write_baseline_path, cellrel::lint::format_baseline(entries))) {
+      std::fprintf(stderr, "cellrel_lint: cannot write %s\n", write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "cellrel_lint: wrote %zu finding(s) to %s\n", entries.size(),
+                 write_baseline_path.c_str());
+  }
+
+  // Split against the baseline (everything is "fresh" without one).
+  cellrel::lint::BaselineMatch match;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cellrel_lint: cannot read baseline %s\n", baseline_path.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    match = cellrel::lint::match_baseline(entries,
+                                          cellrel::lint::parse_baseline(buf.str()));
+  } else {
+    match.fresh = entries;
+  }
+
+  if (!sarif_path.empty()) {
+    if (!write_file(sarif_path, cellrel::lint::to_sarif(entries))) {
+      std::fprintf(stderr, "cellrel_lint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+  }
+
+  for (const auto& e : match.baselined) {
+    std::fprintf(stderr, "%s:%zu: [%s] (baselined) %s\n", e.uri.c_str(), e.line,
+                 e.rule.c_str(), e.message.c_str());
+  }
+  for (const auto& key : match.stale) {
+    std::fprintf(stderr, "cellrel-lint: stale baseline entry (fixed? remove it): %s\n",
+                 key.c_str());
+  }
+  for (const auto& e : match.fresh) {
+    if (e.uri.empty()) {
+      std::fprintf(stderr, "(tree): [%s] %s\n", e.rule.c_str(), e.message.c_str());
+    } else {
+      std::fprintf(stderr, "%s:%zu: [%s] %s\n", e.uri.c_str(), e.line, e.rule.c_str(),
+                   e.message.c_str());
+    }
+  }
+
+  const std::size_t fatal = fail_on_new ? match.fresh.size() : entries.size();
+  if (fatal > 0) {
+    std::fprintf(stderr, "cellrel-lint: %zu violation(s) found%s\n", fatal,
+                 fail_on_new ? " (not in baseline)" : "");
     return 1;
+  }
+  if (!match.baselined.empty()) {
+    std::fprintf(stderr, "cellrel-lint: %zu baselined finding(s) tolerated\n",
+                 match.baselined.size());
   }
   std::puts("cellrel-lint: clean");
   return 0;

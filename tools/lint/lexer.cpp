@@ -1,0 +1,371 @@
+#include "lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace cellrel::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Cursor over the source with transparent backslash-newline splicing.
+/// peek()/get() never show a spliced newline; raw_* variants do (raw
+/// string literals revert phase-2 splicing).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& s) : s_(s) {}
+
+  bool eof() const { return skip_splices(pos_) >= s_.size(); }
+
+  char peek(std::size_t ahead = 0) const {
+    std::size_t p = skip_splices(pos_);
+    while (ahead > 0 && p < s_.size()) {
+      p = skip_splices(p + 1);
+      --ahead;
+    }
+    return p < s_.size() ? s_[p] : '\0';
+  }
+
+  char get() {
+    pos_ = skip_splices_counting(pos_);
+    if (pos_ >= s_.size()) return '\0';
+    const char c = s_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      ++logical_line_;
+    }
+    return c;
+  }
+
+  // Raw access (no splicing) for raw string bodies.
+  bool raw_eof() const { return pos_ >= s_.size(); }
+  char raw_peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  char raw_get() {
+    if (pos_ >= s_.size()) return '\0';
+    const char c = s_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      ++logical_line_;
+    }
+    return c;
+  }
+
+  std::size_t line() const { return line_; }
+  /// Logical line counter: backslash-newline splices do NOT advance it, so
+  /// a continued preprocessor directive stays on one logical line.
+  std::size_t logical_line() const { return logical_line_; }
+
+ private:
+  /// Position after any backslash-newline (or backslash-CR-LF) sequences.
+  std::size_t skip_splices(std::size_t p) const {
+    while (p + 1 < s_.size() && s_[p] == '\\') {
+      if (s_[p + 1] == '\n') {
+        p += 2;
+      } else if (s_[p + 1] == '\r' && p + 2 < s_.size() && s_[p + 2] == '\n') {
+        p += 3;
+      } else {
+        break;
+      }
+    }
+    return p;
+  }
+
+  std::size_t skip_splices_counting(std::size_t p) {
+    std::size_t q = skip_splices(p);
+    for (std::size_t i = p; i < q; ++i) {
+      if (s_[i] == '\n') ++line_;
+    }
+    return q;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t logical_line_ = 1;
+};
+
+/// Multi-char punctuators recognized as single tokens. Longest match wins;
+/// everything else falls back to a single character.
+const char* const kPuncts[] = {
+    "->*", "...", "::", "->", "<<=", ">>=", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "+=", "-=", "*=",  "/=",  "%=", "&=", "|=", "^=", "++", "--",
+};
+
+bool string_prefix(const std::string& ident, bool* raw) {
+  if (ident == "R" || ident == "LR" || ident == "u8R" || ident == "uR" || ident == "UR") {
+    *raw = true;
+    return true;
+  }
+  if (ident == "L" || ident == "u8" || ident == "u" || ident == "U") {
+    *raw = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+  // Tracks the `# include` prefix on the current logical line so <...> can
+  // be lexed as a header-name instead of operator soup.
+  enum class PpState { kNone, kHash, kHashInclude };
+  PpState pp = PpState::kNone;
+  std::size_t last_logical = 0;  // logical line of the last non-comment token
+  std::size_t tok_logical = 0;   // logical line of the token being pushed
+
+  auto push = [&](Token t) {
+    if (t.kind != TokKind::kComment) {
+      t.starts_line = tok_logical != last_logical;
+      last_logical = tok_logical;
+      if (t.kind == TokKind::kPunct && t.text == "#" && t.starts_line) {
+        pp = PpState::kHash;
+      } else if (pp == PpState::kHash && t.kind == TokKind::kIdentifier &&
+                 t.text == "include") {
+        pp = PpState::kHashInclude;
+      } else {
+        pp = PpState::kNone;
+      }
+    }
+    out.push_back(std::move(t));
+  };
+
+  auto lex_quoted = [&](char delim, TokKind kind, std::size_t line) {
+    // Opening delimiter already consumed.
+    std::string body;
+    while (!cur.eof()) {
+      const char c = cur.get();
+      if (c == '\\') {
+        body += c;
+        if (!cur.eof()) body += cur.get();
+        continue;
+      }
+      if (c == delim || c == '\n') break;  // newline: unterminated, recover
+      body += c;
+    }
+    push({kind, std::move(body), line, false});
+  };
+
+  auto lex_raw_string = [&](std::size_t line) {
+    // R" already consumed. Read delimiter up to '(' (raw access: splices
+    // do not apply inside raw strings, including the delimiter).
+    std::string delim;
+    while (!cur.raw_eof() && cur.raw_peek() != '(' && cur.raw_peek() != '\n' &&
+           delim.size() < 16) {
+      delim += cur.raw_get();
+    }
+    if (cur.raw_peek() == '(') cur.raw_get();
+    const std::string closer = ")" + delim + "\"";
+    std::string body;
+    while (!cur.raw_eof()) {
+      body += cur.raw_get();
+      if (body.ends_with(closer)) {
+        body.resize(body.size() - closer.size());
+        break;
+      }
+    }
+    push({TokKind::kString, std::move(body), line, false});
+  };
+
+  while (!cur.eof()) {
+    const char c = cur.peek();
+    const std::size_t line = cur.line();
+    tok_logical = cur.logical_line();
+
+    if (c == '\n' || std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.peek(1) == '/') {
+      cur.get();
+      cur.get();
+      std::string body;
+      while (!cur.eof() && cur.peek() != '\n') body += cur.get();
+      out.push_back({TokKind::kComment, std::move(body), line, false});
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      cur.get();
+      cur.get();
+      std::string body;
+      while (!cur.eof()) {
+        if (cur.peek() == '*' && cur.peek(1) == '/') {
+          cur.get();
+          cur.get();
+          break;
+        }
+        body += cur.get();
+      }
+      out.push_back({TokKind::kComment, std::move(body), line, false});
+      continue;
+    }
+
+    // Header-name after `# include`.
+    if (c == '<' && pp == PpState::kHashInclude) {
+      cur.get();
+      std::string body;
+      while (!cur.eof() && cur.peek() != '>' && cur.peek() != '\n') body += cur.get();
+      if (cur.peek() == '>') cur.get();
+      push({TokKind::kHeaderName, std::move(body), line, false});
+      continue;
+    }
+
+    // String / char literals (no prefix).
+    if (c == '"') {
+      cur.get();
+      lex_quoted('"', TokKind::kString, line);
+      continue;
+    }
+    if (c == '\'') {
+      cur.get();
+      lex_quoted('\'', TokKind::kCharLit, line);
+      continue;
+    }
+
+    // Numbers (digit separators stay inside the token; 1'000 never opens a
+    // char literal, and 1.5e-3 / 0x1p-2 exponent signs stay attached).
+    if (is_digit(c) || (c == '.' && is_digit(cur.peek(1)))) {
+      std::string text;
+      text += cur.get();
+      while (!cur.eof()) {
+        const char n = cur.peek();
+        if (is_ident_char(n) || n == '.') {
+          text += cur.get();
+        } else if (n == '\'' && is_ident_char(cur.peek(1))) {
+          text += cur.get();  // digit separator
+        } else if ((n == '+' || n == '-') && !text.empty() &&
+                   (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+                    text.back() == 'P')) {
+          text += cur.get();  // exponent sign
+        } else {
+          break;
+        }
+      }
+      push({TokKind::kNumber, std::move(text), line, false});
+      continue;
+    }
+
+    // Identifiers, possibly a literal prefix (R"...", u8"...", L'x').
+    if (is_ident_start(c)) {
+      std::string text;
+      text += cur.get();
+      while (!cur.eof() && is_ident_char(cur.peek())) text += cur.get();
+      bool raw = false;
+      if (cur.peek() == '"' && string_prefix(text, &raw)) {
+        cur.get();  // consume the opening quote
+        if (raw) {
+          lex_raw_string(line);
+        } else {
+          lex_quoted('"', TokKind::kString, line);
+        }
+        continue;
+      }
+      if (cur.peek() == '\'' && (text == "L" || text == "u" || text == "U" || text == "u8")) {
+        cur.get();
+        lex_quoted('\'', TokKind::kCharLit, line);
+        continue;
+      }
+      push({TokKind::kIdentifier, std::move(text), line, false});
+      continue;
+    }
+
+    // Punctuation: longest multi-char match, else single char.
+    {
+      std::string text;
+      for (const char* p : kPuncts) {
+        const std::size_t n = std::char_traits<char>::length(p);
+        bool match = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          if (cur.peek(i) != p[i]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          for (std::size_t i = 0; i < n; ++i) text += cur.get();
+          break;
+        }
+      }
+      if (text.empty()) text += cur.get();
+      push({TokKind::kPunct, std::move(text), line, false});
+    }
+  }
+  return out;
+}
+
+std::vector<Token> code_tokens(const std::vector<Token>& tokens) {
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    if (t.kind != TokKind::kComment) out.push_back(t);
+  }
+  return out;
+}
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::vector<Suppression> extract_suppressions(const std::vector<Token>& tokens) {
+  static const std::string kMarker = "cellrel-lint:";
+  std::vector<Suppression> out;
+  for (std::size_t ti = 0; ti < tokens.size(); ++ti) {
+    const Token& t = tokens[ti];
+    if (t.kind != TokKind::kComment) continue;
+    const auto marker = t.text.find(kMarker);
+    if (marker == std::string::npos) continue;
+    const auto allow = t.text.find("allow", marker + kMarker.size());
+    if (allow == std::string::npos) continue;
+    const auto open = t.text.find('(', allow);
+    const auto close = open == std::string::npos ? std::string::npos
+                                                 : t.text.find(')', open + 1);
+    if (close == std::string::npos) continue;
+
+    std::string reason;
+    const auto dashes = t.text.find("--", close + 1);
+    if (dashes != std::string::npos) reason = trim(t.text.substr(dashes + 2));
+
+    bool line_has_code = false;
+    for (const auto& other : tokens) {
+      if (other.kind != TokKind::kComment && other.line == t.line) {
+        line_has_code = true;
+        break;
+      }
+    }
+
+    // One Suppression per listed rule.
+    std::string rules = t.text.substr(open + 1, close - open - 1);
+    std::size_t start = 0;
+    while (start <= rules.size()) {
+      const auto comma = rules.find(',', start);
+      const std::string rule =
+          trim(rules.substr(start, comma == std::string::npos ? std::string::npos
+                                                              : comma - start));
+      if (!rule.empty()) out.push_back({t.line, rule, reason, line_has_code});
+      if (comma == std::string::npos) break;
+      start = comma + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace cellrel::lint

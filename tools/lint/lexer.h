@@ -1,0 +1,80 @@
+// cellrel-lint lexer: a small C++ tokenizer that turns a translation unit
+// into a token stream with line provenance, so every rule in the analysis
+// engine matches *code* tokens instead of raw text. This is what kills the
+// comment/string false-positive class for good: a banned identifier inside
+// a comment, string literal, raw string, or char literal never becomes an
+// identifier token in the first place.
+//
+// Handled C++ surface (the subset the rules need, not a full front end):
+//   * // line comments and /* block */ comments (emitted as kComment tokens
+//     so the suppression scanner can see them, with the start line)
+//   * string literals incl. encoding prefixes (u8"", L"", u"", U"") and
+//     raw strings R"delim(...)delim" (line splices do NOT apply inside)
+//   * char literals incl. escapes ('\'', '\\', '\n')
+//   * numeric literals incl. digit separators (1'000'000) — the separator
+//     quote must not open a char literal
+//   * backslash-newline line continuations everywhere else, with physical
+//     line numbers kept correct
+//   * #include header-names: after `# include`, <...> is one kHeaderName
+//     token (it is not an expression context), and "..." is the usual
+//     kString token
+//   * multi-char punctuators the rules care about (::, ->, <<, >>, ...)
+//
+// The lexer never fails: malformed input degrades to punct/identifier
+// tokens, which at worst makes a rule miss — never crash.
+
+#ifndef CELLREL_TOOLS_LINT_LEXER_H
+#define CELLREL_TOOLS_LINT_LEXER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cellrel::lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords (new, delete, static, ...)
+  kNumber,      // numeric literal, digit separators included
+  kString,      // string literal; text is the content without delimiters
+  kCharLit,     // char literal; text is the content without delimiters
+  kHeaderName,  // <...> after `# include`; text is the path without <>
+  kPunct,       // operators and punctuation, multi-char where meaningful
+  kComment,     // // or /* */ comment; text is the body without delimiters
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  std::size_t line = 0;  // 1-based physical line where the token starts
+  /// True for the first non-comment token on its *logical* line (line
+  /// splices join lines) — the engine uses this to recognize preprocessor
+  /// directives (`#` must be first) and to skip multi-line macro bodies
+  /// without re-scanning the source.
+  bool starts_line = false;
+};
+
+/// Tokenizes `source`. Comments are included in the stream (kComment);
+/// call code_tokens() for a comment-free view.
+std::vector<Token> lex(const std::string& source);
+
+/// The token stream with comments removed (kind order preserved).
+std::vector<Token> code_tokens(const std::vector<Token>& tokens);
+
+/// One parsed `// cellrel-lint: allow(rule) -- reason` marker.
+struct Suppression {
+  std::size_t line = 0;      // line the comment starts on
+  std::string rule;          // rule id inside allow(...)
+  std::string reason;        // text after `--`, trimmed; empty = invalid
+  bool line_has_code = false;  // a code token starts on the same line
+};
+
+/// Extracts every cellrel-lint suppression marker from the comment tokens.
+/// A marker may allow several rules: `allow(rule-a, rule-b)` yields one
+/// Suppression per rule, all sharing the line and reason. Markers with a
+/// missing or empty reason are still returned (reason empty) so the engine
+/// can hard-fail them.
+std::vector<Suppression> extract_suppressions(const std::vector<Token>& tokens);
+
+}  // namespace cellrel::lint
+
+#endif  // CELLREL_TOOLS_LINT_LEXER_H

@@ -1,0 +1,158 @@
+#include "lint/report.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace cellrel::lint {
+
+namespace {
+
+/// Minimal JSON string escaping (control chars, quote, backslash).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<ReportEntry> sorted(std::vector<ReportEntry> entries) {
+  std::sort(entries.begin(), entries.end(), [](const ReportEntry& a, const ReportEntry& b) {
+    if (a.uri != b.uri) return a.uri < b.uri;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.rule != b.rule) return a.rule < b.rule;
+    return a.message < b.message;
+  });
+  return entries;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<ReportEntry>& entries) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"cellrel-lint\",\n"
+      << "          \"version\": \"2.0.0\",\n"
+      << "          \"informationUri\": "
+         "\"https://example.invalid/cellrel/tools/lint\",\n"
+      << "          \"rules\": [\n";
+  const auto& rules = rule_catalog();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    out << "            {\n"
+        << "              \"id\": \"" << json_escape(rules[i].id) << "\",\n"
+        << "              \"shortDescription\": { \"text\": \""
+        << json_escape(rules[i].description) << "\" }\n"
+        << "            }" << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  const auto es = sorted(entries);
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const ReportEntry& e = es[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"" << json_escape(e.rule) << "\",\n"
+        << "          \"level\": \"error\",\n"
+        << "          \"message\": { \"text\": \"" << json_escape(e.message) << "\" }";
+    if (!e.uri.empty()) {
+      out << ",\n"
+          << "          \"locations\": [\n"
+          << "            {\n"
+          << "              \"physicalLocation\": {\n"
+          << "                \"artifactLocation\": { \"uri\": \"" << json_escape(e.uri)
+          << "\" }";
+      if (e.line > 0) {
+        out << ",\n"
+            << "                \"region\": { \"startLine\": " << e.line << " }";
+      }
+      out << "\n"
+          << "              }\n"
+          << "            }\n"
+          << "          ]";
+    }
+    out << "\n        }" << (i + 1 < es.size() ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+std::string baseline_key(const ReportEntry& entry) {
+  return entry.rule + "|" + entry.uri + "|" + entry.message;
+}
+
+std::vector<std::string> parse_baseline(const std::string& text) {
+  std::vector<std::string> keys;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    keys.push_back(line);
+  }
+  return keys;
+}
+
+std::string format_baseline(const std::vector<ReportEntry>& entries) {
+  std::ostringstream out;
+  out << "# cellrel-lint baseline — accepted pre-existing findings.\n"
+      << "# Format: rule|path|message (line numbers excluded on purpose).\n"
+      << "# New findings are NOT covered: --fail-on-new fails on anything\n"
+      << "# absent from this file. Shrink towards empty; never grow it to\n"
+      << "# mute a finding you could fix or suppress with a reason.\n";
+  std::vector<std::string> keys;
+  keys.reserve(entries.size());
+  for (const auto& e : entries) keys.push_back(baseline_key(e));
+  std::sort(keys.begin(), keys.end());
+  for (const auto& k : keys) out << k << "\n";
+  return out.str();
+}
+
+BaselineMatch match_baseline(const std::vector<ReportEntry>& entries,
+                             const std::vector<std::string>& baseline_keys) {
+  std::map<std::string, std::size_t> budget;
+  for (const auto& k : baseline_keys) ++budget[k];
+  BaselineMatch m;
+  for (const auto& e : sorted(entries)) {
+    const auto it = budget.find(baseline_key(e));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      m.baselined.push_back(e);
+    } else {
+      m.fresh.push_back(e);
+    }
+  }
+  for (const auto& [key, left] : budget) {
+    for (std::size_t i = 0; i < left; ++i) m.stale.push_back(key);
+  }
+  return m;
+}
+
+}  // namespace cellrel::lint

@@ -1,0 +1,15 @@
+# ctest helper: run cellrel_lint --sarif on the real tree, then validate the
+# emitted document with tools/validate_sarif.py. Invoked by the
+# cellrel_lint.sarif_valid test; fails if either step fails.
+execute_process(
+  COMMAND ${LINT_BIN} ${SRC_ROOT} --sarif ${OUT_DIR}/lint.sarif
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "cellrel_lint exited with ${lint_rc}")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${VALIDATOR} ${OUT_DIR}/lint.sarif
+  RESULT_VARIABLE validate_rc)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR "validate_sarif.py exited with ${validate_rc}")
+endif()

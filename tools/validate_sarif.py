@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a cellrel-lint SARIF file against the SARIF 2.1.0 structure the
+tool promises to emit (like validate_metrics.py, stdlib only — CI needs no
+jsonschema package).
+
+Checked invariants, from the SARIF 2.1.0 spec (OASIS, §3):
+  * version == "2.1.0" and a $schema URI naming sarif-2.1.0
+  * runs: non-empty array; each run has tool.driver.name (string)
+  * tool.driver.rules: array of {id, shortDescription.text}
+  * results: array of {ruleId, level, message.text}; every ruleId must
+    resolve to a rule declared by the driver
+  * locations[].physicalLocation.artifactLocation.uri: non-empty string;
+    region.startLine (when present) is an integer >= 1
+
+Usage: validate_sarif.py LINT.sarif
+Exit status: 0 when the document validates, 1 with one line per finding.
+"""
+
+import json
+import sys
+
+
+def check(cond, errors, path, message):
+    if not cond:
+        errors.append(f"{path}: {message}")
+    return cond
+
+
+def validate(doc):
+    errors = []
+    check(doc.get("version") == "2.1.0", errors, "version",
+          f'expected "2.1.0", got {doc.get("version")!r}')
+    schema = doc.get("$schema", "")
+    check(isinstance(schema, str) and "sarif-2.1.0" in schema, errors, "$schema",
+          f"expected a sarif-2.1.0 schema URI, got {schema!r}")
+    runs = doc.get("runs")
+    if not check(isinstance(runs, list) and runs, errors, "runs",
+                 "expected a non-empty array"):
+        return errors
+    for ri, run in enumerate(runs):
+        rpath = f"runs[{ri}]"
+        driver = run.get("tool", {}).get("driver", {})
+        check(isinstance(driver.get("name"), str) and driver.get("name"), errors,
+              f"{rpath}.tool.driver.name", "expected a non-empty string")
+        rules = driver.get("rules", [])
+        rule_ids = set()
+        check(isinstance(rules, list), errors, f"{rpath}.tool.driver.rules",
+              "expected an array")
+        for qi, rule in enumerate(rules if isinstance(rules, list) else []):
+            qpath = f"{rpath}.tool.driver.rules[{qi}]"
+            rid = rule.get("id")
+            if check(isinstance(rid, str) and rid, errors, f"{qpath}.id",
+                     "expected a non-empty string"):
+                rule_ids.add(rid)
+            text = rule.get("shortDescription", {}).get("text")
+            check(isinstance(text, str) and text, errors,
+                  f"{qpath}.shortDescription.text", "expected a non-empty string")
+        results = run.get("results")
+        if not check(isinstance(results, list), errors, f"{rpath}.results",
+                     "expected an array"):
+            continue
+        for si, res in enumerate(results):
+            spath = f"{rpath}.results[{si}]"
+            rule_id = res.get("ruleId")
+            if check(isinstance(rule_id, str) and rule_id, errors, f"{spath}.ruleId",
+                     "expected a non-empty string"):
+                check(rule_id in rule_ids, errors, f"{spath}.ruleId",
+                      f"{rule_id!r} is not declared in tool.driver.rules")
+            check(res.get("level") in ("none", "note", "warning", "error"), errors,
+                  f"{spath}.level", f"invalid level {res.get('level')!r}")
+            text = res.get("message", {}).get("text")
+            check(isinstance(text, str) and text, errors, f"{spath}.message.text",
+                  "expected a non-empty string")
+            for li, loc in enumerate(res.get("locations", [])):
+                lpath = f"{spath}.locations[{li}].physicalLocation"
+                phys = loc.get("physicalLocation", {})
+                uri = phys.get("artifactLocation", {}).get("uri")
+                check(isinstance(uri, str) and uri, errors,
+                      f"{lpath}.artifactLocation.uri", "expected a non-empty string")
+                region = phys.get("region")
+                if region is not None:
+                    start = region.get("startLine")
+                    check(isinstance(start, int) and not isinstance(start, bool)
+                          and start >= 1, errors, f"{lpath}.region.startLine",
+                          f"expected an integer >= 1, got {start!r}")
+    return errors
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    errors = validate(doc)
+    if errors:
+        for e in errors:
+            print(f"{argv[1]}: {e}", file=sys.stderr)
+        return 1
+    results = doc["runs"][0].get("results", [])
+    rules = doc["runs"][0]["tool"]["driver"].get("rules", [])
+    print(f"{argv[1]}: valid SARIF 2.1.0 ({len(results)} results, "
+          f"{len(rules)} rules declared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
