@@ -29,7 +29,7 @@ Run run_device(double outage_s, const ProbationSchedule& schedule, bool stall_fi
   AndroidMod::Config config;
   config.telephony.recovery_schedule = schedule;
   config.identity = {1, 33, IspId::kIspA};
-  AndroidMod mod(sim, Rng{99}, std::move(config), [&](std::vector<TraceRecord>&& batch) {
+  AndroidMod mod(sim, Rng{99}, std::move(config), [&](std::span<TraceRecord> batch) {
     for (const auto& r : batch) {
       if (r.type == FailureType::kDataStall) out.stall_record_duration_s = r.duration.to_seconds();
     }

@@ -7,8 +7,11 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <span>
+#include <unordered_set>
 #include <vector>
 
+#include "analysis/batch.h"
 #include "analysis/dataset.h"
 #include "common/stats.h"
 #include "common/zipf.h"
@@ -124,8 +127,130 @@ class Aggregator {
   };
   FilterScore filter_score() const;
 
+  // --- Whole-stream facts (report headers) ---
+  std::uint64_t total_records() const { return data_.records.size(); }
+  std::uint64_t filtered_records() const;
+  /// Whether any record carries a ground-truth false-positive label (an
+  /// imported backend dataset does not).
+  bool has_ground_truth() const;
+
  private:
   const TraceDataset& data_;
+};
+
+/// Order-independent integer count tables for the RAT-transition analysis
+/// (Fig. 17). In streaming mode shards accumulate these instead of
+/// O(sessions) TransitionRecord/DwellRecord vectors: the transition matrices
+/// only ever consume counts, and integer sums are independent of merge
+/// grouping, so the streamed tables are bit-identical to the materialized
+/// path's.
+struct TransitionDwellCounts {
+  std::array<std::array<std::uint64_t, kSignalLevelCount>, kRatCount> dwell_total{};
+  std::array<std::array<std::uint64_t, kSignalLevelCount>, kRatCount> dwell_fail{};
+  std::array<std::array<std::array<std::array<std::uint64_t, kSignalLevelCount>,
+                                   kSignalLevelCount>,
+                        kRatCount>,
+             kRatCount>
+      transition_total{};  // [from_rat][to_rat][from_level][to_level]
+  std::array<std::array<std::array<std::array<std::uint64_t, kSignalLevelCount>,
+                                   kSignalLevelCount>,
+                        kRatCount>,
+             kRatCount>
+      transition_fail{};
+
+  void add(const DwellRecord& d);
+  void add(const TransitionRecord& t);
+  void merge(const TransitionDwellCounts& other);
+};
+
+/// Streaming counterpart of Aggregator: consumes columnar RecordBatches and
+/// per-shard side tables incrementally, so every §3 table is available
+/// without the merged TraceDataset ever existing in memory.
+///
+/// Bit-identity contract: when batches are consumed in shard-index order
+/// (the campaign merge order, which equals the sequential record order),
+/// every query below returns bytes identical to the materialized
+/// Aggregator's — the floating-point accumulations run in the same order
+/// over the same values, the integer tables are order-independent, and the
+/// derived divisions use the same operands. Verified by
+/// StreamingCampaignTest.
+class StreamingAggregator {
+ public:
+  StreamingAggregator() = default;
+
+  // --- Ingestion (merge-time, single-threaded, shard-index order) ---
+  /// Device metadata for one shard (fleet order; ids ascending overall).
+  void add_devices(std::span<const DeviceMeta> devices);
+  /// One batch of records, in emission order.
+  void consume(const RecordBatch& batch);
+  /// One shard's connected-time table (element-wise sum, shard order —
+  /// the exact summation grouping of the materialized merge).
+  void add_connected_time(const ConnectedTimeTable& table);
+  /// One shard's transition/dwell count tables.
+  void add_counts(const TransitionDwellCounts& counts);
+  /// The post-merge BS landscape snapshot (same loop as the materialized
+  /// merge takes over the registry).
+  void set_base_stations(std::vector<BsMeta> base_stations);
+
+  // --- Queries: mirror Aggregator exactly ---
+  PrevalenceFrequency overall() const;
+  std::map<int, PrevalenceFrequency> by_model() const;
+  std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false) const;
+  std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false) const;
+  std::array<PrevalenceFrequency, kIspCount> by_isp() const;
+  std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const;
+  Aggregator::PerDeviceCounts per_device_counts() const;
+  SampleSet durations_all() const { return durations_all_; }
+  SampleSet durations_of(FailureType type) const { return durations_by_type_[index_of(type)]; }
+  std::array<double, kFailureTypeCount> duration_share_by_type() const;
+  ZipfFit bs_zipf_fit() const;
+  Aggregator::BsRankingStats bs_ranking_stats() const;
+  std::array<double, kRatCount> bs_prevalence_by_rat() const;
+  std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const;
+  std::array<std::array<double, kSignalLevelCount>, kRatCount>
+  normalized_prevalence_by_rat_level() const;
+  std::vector<Aggregator::ErrorCodeShare> top_error_codes(std::size_t n = 10) const;
+  Aggregator::TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const;
+  Aggregator::FilterScore filter_score() const { return fscore_; }
+
+  std::uint64_t total_records() const { return total_records_; }
+  std::uint64_t filtered_records() const { return filtered_records_; }
+  bool has_ground_truth() const { return has_ground_truth_; }
+
+  /// The fleet/BS metadata the aggregator retains (streaming mode leaves
+  /// CampaignResult::dataset empty; these are the surviving copies).
+  const std::vector<DeviceMeta>& devices() const { return devices_; }
+  const std::vector<BsMeta>& base_stations() const { return base_stations_; }
+  const ConnectedTimeTable& connected_time() const { return connected_time_; }
+
+  /// Approximate resident footprint of the aggregation state (memory-
+  /// ceiling accounting for the bench; dominated by the duration samples:
+  /// 16 bytes per kept record).
+  std::size_t resident_bytes() const;
+
+ private:
+  std::vector<DeviceMeta> devices_;
+  std::vector<BsMeta> base_stations_;
+  ConnectedTimeTable connected_time_;
+  /// Kept-failure counts per device per type (covers kept_counts and
+  /// per_device_counts). Ordered: feeds SampleSets on the deterministic
+  /// export surface (cellrel-lint: ordered-export).
+  std::map<DeviceId, std::array<std::uint64_t, kFailureTypeCount>> counts_;
+  SampleSet durations_all_;
+  std::array<SampleSet, kFailureTypeCount> durations_by_type_;
+  std::array<double, kFailureTypeCount> duration_sums_{};
+  double duration_total_ = 0.0;
+  std::map<std::int32_t, std::uint64_t> setup_error_codes_;
+  std::uint64_t setup_error_total_ = 0;
+  /// Only .size() is consumed (never iterated), matching Aggregator's use.
+  std::array<std::unordered_set<DeviceId>, kSignalLevelCount> failing_by_level_;
+  std::array<std::array<std::unordered_set<DeviceId>, kSignalLevelCount>, kRatCount>
+      failing_by_rat_level_;
+  TransitionDwellCounts td_;
+  Aggregator::FilterScore fscore_;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t filtered_records_ = 0;
+  bool has_ground_truth_ = false;
 };
 
 }  // namespace cellrel

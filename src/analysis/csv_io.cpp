@@ -330,4 +330,125 @@ TraceDataset read_dataset_csv(const std::filesystem::path& dir) {
   return data;
 }
 
+// ---------------------------------------------------------------------------
+// Batch spill files
+// ---------------------------------------------------------------------------
+
+std::string spill_shard_file(std::size_t shard_index) {
+  return "shard-" + std::to_string(shard_index) + ".csv";
+}
+
+std::string spill_csv_header() {
+  return "device,type,at_us,duration_us,method,rat,level,bs,apn,cause,filtered,"
+         "probe_rounds,ground_truth_fp";
+}
+
+BatchSpillWriter::BatchSpillWriter(const std::filesystem::path& file)
+    : file_(file), out_(file, std::ios::binary) {
+  if (!out_) throw std::runtime_error("csv_io: cannot write spill file " + file.string());
+  const std::string header = spill_csv_header() + '\n';
+  out_ << header;
+  bytes_ += header.size();
+}
+
+void BatchSpillWriter::write(const RecordBatch& batch, const StringPool& apns) {
+  std::string line;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const RecordBatch::RowView r = batch.row(i);
+    line.clear();
+    line += std::to_string(r.device);
+    line += ',';
+    line += std::to_string(static_cast<unsigned>(r.type));
+    line += ',';
+    line += std::to_string(r.at_us);
+    line += ',';
+    line += std::to_string(r.duration_us);
+    line += ',';
+    line += std::to_string(static_cast<unsigned>(r.duration_method));
+    line += ',';
+    line += std::to_string(static_cast<unsigned>(r.rat));
+    line += ',';
+    line += std::to_string(static_cast<unsigned>(r.level));
+    line += ',';
+    line += std::to_string(r.bs);
+    line += ',';
+    line += apns.view(r.apn);
+    line += ',';
+    line += std::to_string(static_cast<std::int32_t>(r.cause));
+    line += ',';
+    line += r.filtered_false_positive ? '1' : '0';
+    line += ',';
+    line += std::to_string(r.probe_rounds);
+    line += ',';
+    line += std::to_string(static_cast<unsigned>(r.ground_truth_fp));
+    line += '\n';
+    out_ << line;
+    bytes_ += line.size();
+    ++records_;
+  }
+}
+
+void BatchSpillWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  if (!out_) throw std::runtime_error("csv_io: spill write failed for " + file_.string());
+  out_.close();
+}
+
+std::optional<RecordBatch::RowView> spill_row_from_csv(std::string_view line,
+                                                       StringPool& apns) {
+  const auto f = split(line);
+  if (f.size() != 13) return std::nullopt;
+  const auto device = parse_number<std::uint64_t>(f[0]);
+  const auto type = parse_number<unsigned>(f[1]);
+  const auto at_us = parse_number<std::int64_t>(f[2]);
+  const auto duration_us = parse_number<std::int64_t>(f[3]);
+  const auto method = parse_number<unsigned>(f[4]);
+  const auto rat = parse_number<unsigned>(f[5]);
+  const auto level = parse_number<unsigned>(f[6]);
+  const auto bs = parse_number<BsIndex>(f[7]);
+  const auto cause = parse_number<std::int32_t>(f[9]);
+  const auto probe_rounds = parse_number<std::uint32_t>(f[11]);
+  const auto gt = parse_number<unsigned>(f[12]);
+  if (!device || !type || *type >= kFailureTypeCount || !at_us || !duration_us ||
+      !method || *method > static_cast<unsigned>(DurationMethod::kStateTracking) ||
+      !rat || *rat >= kRatCount || !level || *level >= kSignalLevelCount || !bs ||
+      !cause || !probe_rounds || !gt || *gt >= kFalsePositiveKindCount ||
+      (f[10] != "0" && f[10] != "1")) {
+    return std::nullopt;
+  }
+  RecordBatch::RowView r;
+  r.device = *device;
+  r.type = static_cast<FailureType>(*type);
+  r.at_us = *at_us;
+  r.duration_us = *duration_us;
+  r.duration_method = static_cast<DurationMethod>(*method);
+  r.rat = static_cast<Rat>(*rat);
+  r.level = static_cast<SignalLevel>(*level);
+  r.bs = *bs;
+  r.apn = apns.intern(f[8]);
+  r.cause = static_cast<FailCause>(*cause);
+  r.filtered_false_positive = f[10] == "1";
+  r.probe_rounds = *probe_rounds;
+  r.ground_truth_fp = static_cast<FalsePositiveKind>(*gt);
+  return r;
+}
+
+void read_spill_batches(const std::filesystem::path& file, std::size_t capacity,
+                        StringPool& apns,
+                        const std::function<void(const RecordBatch&)>& fn) {
+  auto in = open_in(file);
+  RecordBatch batch(capacity);
+  for_each_row(in, file, [&](std::string_view line, int n) {
+    const auto row = spill_row_from_csv(line, apns);
+    if (!row) malformed(file, n);
+    batch.push_row(*row);
+    if (batch.full()) {
+      fn(batch);
+      batch.clear();
+    }
+  });
+  if (!batch.empty()) fn(batch);
+}
+
 }  // namespace cellrel

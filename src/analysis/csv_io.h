@@ -15,9 +15,12 @@
 #define CELLREL_ANALYSIS_CSV_IO_H
 
 #include <filesystem>
+#include <fstream>
+#include <functional>
 #include <optional>
 #include <string>
 
+#include "analysis/batch.h"
 #include "analysis/dataset.h"
 
 namespace cellrel {
@@ -49,6 +52,63 @@ std::optional<CellIdentity> cell_identity_from_string(std::string_view s);
 
 /// Parses one records.csv row (the to_csv() format).
 std::optional<TraceRecord> trace_record_from_csv(std::string_view line);
+
+// ---------------------------------------------------------------------------
+// Batch spill files (streaming campaigns, --spill-dir)
+// ---------------------------------------------------------------------------
+//
+// One file per shard, written as batches fill and re-read in shard-index
+// order at merge time, so peak batch residency is O(shards x capacity)
+// instead of O(records). Unlike records.csv (which renders timestamps with
+// %.3f), spill rows are LOSSLESS: integer microsecond counts, the raw
+// FailCause code, and the ground-truth label ride along, so a spilled
+// record round-trips bit-exactly — the property the streaming-vs-
+// materialized equivalence contract rests on.
+
+/// Spill file name for shard `shard_index`: "shard-<k>.csv".
+std::string spill_shard_file(std::size_t shard_index);
+
+/// Header of the spill row format: device,type,at_us,duration_us,method,
+/// rat,level,bs,apn,cause,filtered,probe_rounds,ground_truth_fp (enums as
+/// integer indices).
+std::string spill_csv_header();
+
+/// Appends whole RecordBatches to one shard's spill file.
+class BatchSpillWriter {
+ public:
+  /// Opens `file` for writing and emits the header. Throws
+  /// std::runtime_error on I/O failure.
+  explicit BatchSpillWriter(const std::filesystem::path& file);
+
+  /// Writes every row of `batch` (APN ids resolved against `apns`).
+  void write(const RecordBatch& batch, const StringPool& apns);
+
+  /// Flushes and closes; throws std::runtime_error if the stream failed.
+  void close();
+
+  std::uint64_t records_written() const { return records_; }
+  std::uint64_t bytes_written() const { return bytes_; }
+
+ private:
+  std::filesystem::path file_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Parses one spill row into a batch row view; `apns` receives the APN
+/// text (interned, first-appearance order). Returns nullopt on malformed
+/// input.
+std::optional<RecordBatch::RowView> spill_row_from_csv(std::string_view line,
+                                                       StringPool& apns);
+
+/// Streams a spill file back as RecordBatches of at most `capacity` rows,
+/// in file order, interning APNs into `apns`. The same batch buffer is
+/// reused across calls to `fn`. Throws std::runtime_error on missing file
+/// or malformed rows.
+void read_spill_batches(const std::filesystem::path& file, std::size_t capacity,
+                        StringPool& apns,
+                        const std::function<void(const RecordBatch&)>& fn);
 
 }  // namespace cellrel
 

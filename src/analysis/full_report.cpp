@@ -16,11 +16,13 @@ void append_f(std::string& out, const char* fmt, auto... args) {
   out += buf;
 }
 
-}  // namespace
-
-std::string render_full_report(const TraceDataset& dataset,
-                               const FullReportOptions& options) {
-  const Aggregator agg(dataset);
+/// Renders the report over any aggregation surface exposing the Aggregator
+/// query set (the materialized Aggregator or the StreamingAggregator; see
+/// aggregate.h). Every statistic is pulled through the aggregator — never
+/// from the raw dataset — so the streaming and materialized renditions are
+/// byte-identical whenever the aggregators agree.
+template <typename Agg>
+std::string render_report_impl(const Agg& agg, const FullReportOptions& options) {
   std::string out;
   out += "# " + options.title + "\n\n";
 
@@ -50,24 +52,14 @@ std::string render_full_report(const TraceDataset& dataset,
            share[index_of(FailureType::kDataStall)] * 100.0);
   // Filter scoring needs the simulation's ground-truth labels; an imported
   // dataset (like the real backend's) does not carry them.
-  bool has_ground_truth = false;
-  for (const auto& r : dataset.records) {
-    if (is_false_positive(r.ground_truth_fp)) {
-      has_ground_truth = true;
-      break;
-    }
-  }
-  if (has_ground_truth) {
+  if (agg.has_ground_truth()) {
     const auto fscore = agg.filter_score();
     append_f(out, "- false-positive filter: precision %.3f, recall %.3f\n",
              fscore.precision(), fscore.recall());
   }
-  std::size_t filtered = 0;
-  for (const auto& r : dataset.records) {
-    if (r.filtered_false_positive) ++filtered;
-  }
-  append_f(out, "- records filtered as false positives: %zu of %zu\n\n", filtered,
-           dataset.records.size());
+  append_f(out, "- records filtered as false positives: %llu of %llu\n\n",
+           static_cast<unsigned long long>(agg.filtered_records()),
+           static_cast<unsigned long long>(agg.total_records()));
 
   out += "Failure duration CDF (seconds):\n\n```\n";
   out += render_cdf(durations, default_cdf_quantiles());
@@ -155,6 +147,19 @@ std::string render_full_report(const TraceDataset& dataset,
     out += "```\n";
   }
   return out;
+}
+
+}  // namespace
+
+std::string render_full_report(const TraceDataset& dataset,
+                               const FullReportOptions& options) {
+  const Aggregator agg(dataset);
+  return render_report_impl(agg, options);
+}
+
+std::string render_full_report(const StreamingAggregator& agg,
+                               const FullReportOptions& options) {
+  return render_report_impl(agg, options);
 }
 
 }  // namespace cellrel

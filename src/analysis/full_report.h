@@ -11,6 +11,8 @@
 
 namespace cellrel {
 
+class StreamingAggregator;
+
 struct FullReportOptions {
   std::string title = "Cellular reliability campaign report";
   /// Include the six RAT-transition matrices (verbose).
@@ -21,6 +23,13 @@ struct FullReportOptions {
 
 /// Renders the complete markdown report.
 std::string render_full_report(const TraceDataset& dataset,
+                               const FullReportOptions& options = {});
+
+/// Streaming-campaign overload: renders the same report from a
+/// StreamingAggregator (byte-identical to the dataset overload when the
+/// aggregator was fed the same campaign — see aggregate.h's bit-identity
+/// contract).
+std::string render_full_report(const StreamingAggregator& agg,
                                const FullReportOptions& options = {});
 
 }  // namespace cellrel

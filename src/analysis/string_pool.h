@@ -1,0 +1,79 @@
+// Deterministic string interning for the columnar data plane.
+//
+// APN strings repeat heavily across trace records (a handful of operator
+// APNs over millions of rows). The batch columns store a 4-byte ApnId
+// instead of a heap-allocated std::string, and each shard owns one
+// StringPool mapping ids back to the text. Ids are assigned in first-
+// appearance order, so the mapping — like everything else in the campaign
+// data plane — is a pure function of the record stream and bit-identical
+// across thread counts.
+//
+// This header is the ONLY place the batch data plane touches std::string
+// storage: src/analysis/batch.{h,cpp} are covered by the cellrel-lint
+// `batch-hygiene` rule, which confines per-record heap allocation out of
+// the hot row path.
+
+#ifndef CELLREL_ANALYSIS_STRING_POOL_H
+#define CELLREL_ANALYSIS_STRING_POOL_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cellrel {
+
+/// Index of an interned string inside one StringPool.
+using ApnId = std::uint32_t;
+
+/// Append-only interning pool. Not thread-safe: exactly one shard writes to
+/// a given pool (the same ownership discipline as ShardResult).
+class StringPool {
+ public:
+  /// Returns the id for `s`, interning it on first appearance. Ids are
+  /// dense, starting at 0, in first-appearance order.
+  ApnId intern(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const ApnId id = static_cast<ApnId>(strings_.size());
+    strings_.emplace_back(s);
+    index_.emplace(strings_.back(), id);
+    return id;
+  }
+
+  /// The interned text for `id`. The view stays valid for the pool's
+  /// lifetime (strings are never removed or reallocated in place — the
+  /// vector stores std::string objects whose heap buffers are stable).
+  std::string_view view(ApnId id) const {
+    CELLREL_DCHECK(id < strings_.size()) << "ApnId out of range";
+    return strings_[id];
+  }
+
+  std::size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+  /// Approximate heap footprint: string storage plus index nodes.
+  std::size_t resident_bytes() const {
+    std::size_t bytes = strings_.capacity() * sizeof(std::string);
+    for (const std::string& s : strings_) {
+      if (s.capacity() > sizeof(std::string)) bytes += s.capacity();
+    }
+    // One map node (string key + id + tree overhead) per distinct string.
+    bytes += index_.size() * (sizeof(std::string) + sizeof(ApnId) + 4 * sizeof(void*));
+    return bytes;
+  }
+
+ private:
+  std::vector<std::string> strings_;
+  /// Ordered on purpose: the pool sits on the deterministic-export surface
+  /// (cellrel-lint: ordered-export). Heterogeneous lookup avoids a
+  /// temporary std::string per intern() probe.
+  std::map<std::string, ApnId, std::less<>> index_;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_ANALYSIS_STRING_POOL_H

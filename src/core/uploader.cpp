@@ -14,12 +14,8 @@ void TraceUploader::flush() {
   bytes += 64;  // per-batch envelope
   uploaded_records_ += buffer_.size();
   uploaded_bytes_ += bytes;
-  if (sink_) {
-    sink_(std::move(buffer_));
-    buffer_ = {};
-  } else {
-    buffer_.clear();
-  }
+  if (sink_) sink_(std::span<TraceRecord>(buffer_));
+  buffer_.clear();
 }
 
 }  // namespace cellrel

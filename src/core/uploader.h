@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/trace.h"
@@ -17,8 +18,12 @@ namespace cellrel {
 /// Buffers records and flushes them when WiFi is available.
 class TraceUploader {
  public:
-  /// Receives every uploaded batch (the "backend server").
-  using Sink = std::function<void(std::vector<TraceRecord>&&)>;
+  /// Receives every uploaded batch (the "backend server"). The span is a
+  /// view into the uploader's buffer, valid only for the duration of the
+  /// call; the sink may move from the records (the buffer is cleared — not
+  /// reallocated — right after), so the upload path reuses one allocation
+  /// for the campaign instead of handing off a fresh vector per flush.
+  using Sink = std::function<void(std::span<TraceRecord>)>;
 
   explicit TraceUploader(Sink sink) : sink_(std::move(sink)) {}
 

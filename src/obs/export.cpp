@@ -94,6 +94,12 @@ void csv_row(std::string& out, std::string_view kind, const std::string& name,
   out += '\n';
 }
 
+/// Whether a metric name is excluded from this export (the "process."
+/// namespace is opt-in; see ExportOptions::include_process).
+bool skipped(const std::string& name, const ExportOptions& options) {
+  return !options.include_process && name.starts_with("process.");
+}
+
 }  // namespace
 
 std::string metrics_to_json(const MetricRegistry& registry, ExportOptions options) {
@@ -102,22 +108,28 @@ std::string metrics_to_json(const MetricRegistry& registry, ExportOptions option
   bool first_section = true;
 
   w.open_section("counters", first_section);
-  for (const auto& [name, c] : registry.counters()) w.entry(name, fmt_u64(c.value));
+  for (const auto& [name, c] : registry.counters()) {
+    if (!skipped(name, options)) w.entry(name, fmt_u64(c.value));
+  }
   w.close_section();
 
   w.open_section("gauges", first_section);
   for (const auto& [name, g] : registry.gauges()) {
+    if (skipped(name, options)) continue;
     w.entry(name, "{ \"value\": " + fmt_double(g.value) +
                       ", \"writes\": " + fmt_u64(g.writes) + " }");
   }
   w.close_section();
 
   w.open_section("histograms", first_section);
-  for (const auto& [name, h] : registry.histograms()) w.entry(name, histogram_json(h));
+  for (const auto& [name, h] : registry.histograms()) {
+    if (!skipped(name, options)) w.entry(name, histogram_json(h));
+  }
   w.close_section();
 
   w.open_section("sim_timers", first_section);
   for (const auto& [name, t] : registry.sim_timers()) {
+    if (skipped(name, options)) continue;
     w.entry(name, "{ \"count\": " + fmt_u64(t.count) +
                       ", \"total_us\": " + fmt_i64(t.total_us) +
                       ", \"max_us\": " + fmt_i64(t.max_us) + " }");
@@ -127,6 +139,7 @@ std::string metrics_to_json(const MetricRegistry& registry, ExportOptions option
   if (options.include_wall) {
     w.open_section("wall_timers", first_section);
     for (const auto& [name, t] : registry.wall_timers()) {
+      if (skipped(name, options)) continue;
       w.entry(name, "{ \"count\": " + fmt_u64(t.count) +
                         ", \"total_s\": " + fmt_double(t.total_s) +
                         ", \"max_s\": " + fmt_double(t.max_s) + " }");
@@ -141,13 +154,15 @@ std::string metrics_to_json(const MetricRegistry& registry, ExportOptions option
 std::string metrics_to_csv(const MetricRegistry& registry, ExportOptions options) {
   std::string out = "kind,name,field,value\n";
   for (const auto& [name, c] : registry.counters()) {
-    csv_row(out, "counter", name, "value", fmt_u64(c.value));
+    if (!skipped(name, options)) csv_row(out, "counter", name, "value", fmt_u64(c.value));
   }
   for (const auto& [name, g] : registry.gauges()) {
+    if (skipped(name, options)) continue;
     csv_row(out, "gauge", name, "value", fmt_double(g.value));
     csv_row(out, "gauge", name, "writes", fmt_u64(g.writes));
   }
   for (const auto& [name, h] : registry.histograms()) {
+    if (skipped(name, options)) continue;
     csv_row(out, "histogram", name, "underflow", fmt_u64(h.underflow()));
     csv_row(out, "histogram", name, "overflow", fmt_u64(h.overflow()));
     csv_row(out, "histogram", name, "total", fmt_u64(h.total()));
@@ -158,12 +173,14 @@ std::string metrics_to_csv(const MetricRegistry& registry, ExportOptions options
     }
   }
   for (const auto& [name, t] : registry.sim_timers()) {
+    if (skipped(name, options)) continue;
     csv_row(out, "sim_timer", name, "count", fmt_u64(t.count));
     csv_row(out, "sim_timer", name, "total_us", fmt_i64(t.total_us));
     csv_row(out, "sim_timer", name, "max_us", fmt_i64(t.max_us));
   }
   if (options.include_wall) {
     for (const auto& [name, t] : registry.wall_timers()) {
+      if (skipped(name, options)) continue;
       csv_row(out, "wall_timer", name, "count", fmt_u64(t.count));
       csv_row(out, "wall_timer", name, "total_s", fmt_double(t.total_s));
       csv_row(out, "wall_timer", name, "max_s", fmt_double(t.max_s));

@@ -21,6 +21,13 @@ struct ExportOptions {
   /// Off by default: wall values vary run to run and would break the
   /// bit-identity contract of the exported file.
   bool include_wall = false;
+  /// Include metrics whose name starts with "process." — host-process
+  /// accounting (resident batch bytes, spill volume) that legitimately
+  /// differs between execution modes of the SAME scenario. Off by default
+  /// for the same reason as wall timers: the default export must be
+  /// byte-identical across thread counts AND across the streaming /
+  /// materialized execution modes.
+  bool include_process = false;
 };
 
 /// Pretty-printed JSON document (2-space indent, keys sorted by name):

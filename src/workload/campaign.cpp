@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
 #include <functional>
 #include <iterator>
 #include <optional>
 #include <utility>
 
+#include "analysis/batch.h"
+#include "analysis/csv_io.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
 
@@ -81,11 +84,44 @@ struct OverheadAccum {
   }
 };
 
+/// Capacity of one shard's RecordBatches: a pure function of the
+/// calibration-expected record count for the shard's devices (never of the
+/// thread count or of runtime state), so the batch boundaries — and the
+/// dataplane.* counters derived from them — are deterministic. Sized so a
+/// typical shard seals a handful of batches; clamped to keep the per-batch
+/// footprint sane at both extremes.
+std::size_t batch_capacity_for(double expected_shard_records) {
+  const std::size_t want = static_cast<std::size_t>(expected_shard_records / 8.0) + 1;
+  return std::clamp<std::size_t>(want, 256, 4096);
+}
+
 /// Everything one shard of devices produces. Exactly one worker writes to a
 /// given ShardResult; the campaign merges them in shard-index order after
 /// the join.
+///
+/// Records flow through fixed-capacity columnar RecordBatches: emit() fills
+/// `current`, sealed batches are either retained in `batches` (in-memory
+/// modes) or written to the shard's spill file and their buffer recycled
+/// through `arena` (streaming + spill: O(1) resident batches per shard).
+/// Transitions/dwells are kept as sample vectors in materialized mode but
+/// collapse to order-independent count tables in streaming mode.
 struct ShardResult {
-  TraceDataset dataset;
+  // --- Record data plane ---
+  StringPool apns;
+  std::vector<RecordBatch> batches;
+  BatchArena arena;
+  RecordBatch current;
+  std::unique_ptr<BatchSpillWriter> spill;
+  std::size_t batch_capacity = 0;
+  bool streaming = false;
+
+  // --- Fleet metadata & side tables ---
+  std::vector<DeviceMeta> devices;
+  ConnectedTimeTable connected_time;
+  std::vector<TransitionRecord> transitions;  // materialized mode
+  std::vector<DwellRecord> dwells;            // materialized mode
+  TransitionDwellCounts td_counts;            // streaming mode
+
   std::vector<RecoveryEpisode> recovery_episodes;
   OverheadAccum overhead;
   /// Every device of the shard writes its metrics here; merged in
@@ -97,6 +133,63 @@ struct ShardResult {
   std::vector<BsIndex> bs_failures;
   std::uint64_t simulated_events = 0;
   std::uint64_t episodes_run = 0;
+
+  // --- Data-plane accounting ---
+  std::uint64_t records_batched = 0;
+  std::uint64_t batches_sealed = 0;
+  std::uint64_t batch_bytes = 0;       // column bytes currently allocated
+  std::uint64_t peak_batch_bytes = 0;  // high-water mark of the above
+  std::uint64_t spilled_bytes = 0;
+
+  /// Appends one record to the current batch, sealing it when full.
+  void emit(const TraceRecord& r) {
+    if (current.capacity() == 0) {
+      const std::uint64_t fresh = arena.allocated();
+      current = arena.acquire(batch_capacity);
+      if (arena.allocated() != fresh) {
+        batch_bytes += current.resident_bytes();
+        peak_batch_bytes = std::max(peak_batch_bytes, batch_bytes);
+      }
+    }
+    current.push(r, apns);
+    ++records_batched;
+    if (current.full()) seal_current();
+  }
+
+  /// Seals the in-flight batch: spill-and-recycle or retain.
+  void seal_current() {
+    if (current.empty()) {
+      current = RecordBatch{};
+      return;
+    }
+    ++batches_sealed;
+    if (spill) {
+      spill->write(current, apns);
+      arena.release(std::move(current));  // buffer stays resident in the arena
+    } else {
+      batches.push_back(std::move(current));
+    }
+    current = RecordBatch{};
+  }
+
+  /// End-of-shard: flushes the partial batch, closes the spill file, and
+  /// publishes the deterministic dataplane counters into the shard sink.
+  void seal() {
+    seal_current();
+    if (spill) {
+      spilled_bytes = spill->bytes_written();
+      spill->close();
+      spill.reset();
+    }
+    metrics.counter("dataplane.records_batched").add(records_batched);
+    metrics.counter("dataplane.batches").add(batches_sealed);
+  }
+
+  std::size_t batched_records() const {
+    std::size_t n = 0;
+    for (const RecordBatch& b : batches) n += b.size();
+    return n;
+  }
 };
 
 template <typename T>
@@ -106,20 +199,68 @@ void move_append(std::vector<T>& into, std::vector<T>&& from) {
   from.clear();
 }
 
-/// Order-canonical reduction of the shard results into one CampaignResult.
-/// Runs single-threaded after the join; the iteration order (shard index,
-/// then device order within the shard) equals sequential execution order,
-/// so every concatenation and floating-point sum is bit-identical to the
-/// threads=1 run.
+/// Shared tail of both merge modes: overhead/metrics/event sums and the BS
+/// failure delta for one shard, in shard-index order.
+void merge_shard_common(CampaignResult& result, OverheadAccum& overhead, BsRegistry& registry,
+                        ShardResult& s) {
+  move_append(result.recovery_episodes, std::move(s.recovery_episodes));
+  overhead.merge(s.overhead);
+  result.metrics.merge(s.metrics);
+  result.simulated_events += s.simulated_events;
+  result.episodes_run += s.episodes_run;
+  registry.apply_failure_delta(s.bs_failures);
+}
+
+/// Post-merge BS landscape snapshot (counters included).
+std::vector<BsMeta> snapshot_base_stations(const BsRegistry& registry) {
+  std::vector<BsMeta> out;
+  out.reserve(registry.size());
+  for (const BaseStation& bs : registry.all()) {
+    BsMeta meta;
+    meta.index = bs.index();
+    meta.isp = bs.isp();
+    meta.rat_mask = bs.rat_mask();
+    meta.location = bs.location();
+    meta.failure_count = bs.failure_count();
+    out.push_back(meta);
+  }
+  return out;
+}
+
+/// Host-process accounting (differs across execution modes of the same
+/// scenario by design — excluded from the default export).
+void publish_process_gauges(CampaignResult& result, const std::vector<ShardResult>& shards) {
+  std::uint64_t peak_batch = 0, spilled = 0, allocated = 0, reused = 0;
+  for (const ShardResult& s : shards) {
+    peak_batch += s.peak_batch_bytes;
+    spilled += s.spilled_bytes;
+    allocated += s.arena.allocated();
+    reused += s.arena.reused();
+  }
+  result.metrics.gauge("process.dataplane.peak_batch_bytes")
+      .set(static_cast<double>(peak_batch));
+  result.metrics.gauge("process.dataplane.spilled_bytes").set(static_cast<double>(spilled));
+  result.metrics.gauge("process.dataplane.batches_allocated")
+      .set(static_cast<double>(allocated));
+  result.metrics.gauge("process.dataplane.batches_reused").set(static_cast<double>(reused));
+}
+
+/// Order-canonical reduction of the shard results into one materialized
+/// CampaignResult. Runs single-threaded after the join; the iteration order
+/// (shard index, then device order within the shard, then emission order
+/// within the device) equals sequential execution order, so every
+/// concatenation and floating-point sum is bit-identical to the threads=1
+/// run. Records are expanded from the columnar batches with an EXACT
+/// reserve taken from the batch manifest — no growth heuristics.
 CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult>&& shards) {
   CampaignResult result;
 
   std::size_t records = 0, transitions = 0, dwells = 0, devices = 0, episodes = 0;
   for (const ShardResult& s : shards) {
-    records += s.dataset.records.size();
-    transitions += s.dataset.transitions.size();
-    dwells += s.dataset.dwells.size();
-    devices += s.dataset.devices.size();
+    records += s.batched_records();
+    transitions += s.transitions.size();
+    dwells += s.dwells.size();
+    devices += s.devices.size();
     episodes += s.recovery_episodes.size();
   }
   result.dataset.records.reserve(records);
@@ -132,22 +273,23 @@ CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult
   // fleet order, so concatenation leaves devices and records stably ordered
   // by device id — the same order the sequential executor produces.
   OverheadAccum overhead;
+  const auto resolve_cell = [&registry](BsIndex bs) { return registry.at(bs).identity(); };
   for (ShardResult& s : shards) {
-    move_append(result.dataset.records, std::move(s.dataset.records));
-    move_append(result.dataset.devices, std::move(s.dataset.devices));
-    move_append(result.dataset.transitions, std::move(s.dataset.transitions));
-    move_append(result.dataset.dwells, std::move(s.dataset.dwells));
-    move_append(result.recovery_episodes, std::move(s.recovery_episodes));
+    MaterializeContext ctx;
+    ctx.apns = &s.apns;
+    ctx.devices = std::span<const DeviceMeta>(s.devices);
+    ctx.resolve_cell = resolve_cell;
+    for (const RecordBatch& b : s.batches) b.materialize_into(result.dataset.records, ctx);
+    s.batches.clear();  // free column buffers as we go
+    move_append(result.dataset.devices, std::move(s.devices));
+    move_append(result.dataset.transitions, std::move(s.transitions));
+    move_append(result.dataset.dwells, std::move(s.dwells));
     for (std::size_t r = 0; r < kRatCount; ++r) {
       for (std::size_t l = 0; l < kSignalLevelCount; ++l) {
-        result.dataset.connected_time.seconds[r][l] += s.dataset.connected_time.seconds[r][l];
+        result.dataset.connected_time.seconds[r][l] += s.connected_time.seconds[r][l];
       }
     }
-    overhead.merge(s.overhead);
-    result.metrics.merge(s.metrics);
-    result.simulated_events += s.simulated_events;
-    result.episodes_run += s.episodes_run;
-    registry.apply_failure_delta(s.bs_failures);
+    merge_shard_common(result, overhead, registry, s);
   }
   result.overhead = overhead.finalize();
 
@@ -158,17 +300,57 @@ CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult
                                 }))
       << "shard merge must preserve device-id order";
 
-  // Snapshot the BS landscape (counters included) into the dataset.
-  result.dataset.base_stations.reserve(registry.size());
-  for (const BaseStation& bs : registry.all()) {
-    BsMeta meta;
-    meta.index = bs.index();
-    meta.isp = bs.isp();
-    meta.rat_mask = bs.rat_mask();
-    meta.location = bs.location();
-    meta.failure_count = bs.failure_count();
-    result.dataset.base_stations.push_back(meta);
+  result.dataset.base_stations = snapshot_base_stations(registry);
+  publish_process_gauges(result, shards);
+  return result;
+}
+
+/// Streaming reduction: folds every shard's batches into a
+/// StreamingAggregator instead of concatenating a dataset. Consumption
+/// order is shard index, then emission order within the shard — exactly the
+/// record order of the materialized dataset — so every floating-point
+/// accumulation runs over the same values in the same order and the
+/// aggregator's tables are bit-identical to Aggregator(materialized
+/// dataset). Spilled shards are re-read from disk one batch buffer at a
+/// time.
+CampaignResult merge_shard_results_streaming(BsRegistry& registry,
+                                             std::vector<ShardResult>&& shards,
+                                             const std::filesystem::path& spill_dir) {
+  CampaignResult result;
+  result.stream = std::make_unique<StreamingAggregator>();
+  StreamingAggregator& agg = *result.stream;
+
+  OverheadAccum overhead;
+  std::size_t shard_index = 0;
+  for (ShardResult& s : shards) {
+    agg.add_devices(std::span<const DeviceMeta>(s.devices));
+    if (!spill_dir.empty()) {
+      StringPool reload_apns;  // ids are shard-local; the consumer ignores them
+      read_spill_batches(spill_dir / spill_shard_file(shard_index), s.batch_capacity,
+                         reload_apns,
+                         [&agg](const RecordBatch& b) { agg.consume(b); });
+    } else {
+      for (RecordBatch& b : s.batches) {
+        agg.consume(b);
+        b = RecordBatch{};  // free column buffers as we go
+      }
+      s.batches.clear();
+    }
+    agg.add_connected_time(s.connected_time);
+    agg.add_counts(s.td_counts);
+    merge_shard_common(result, overhead, registry, s);
+    ++shard_index;
   }
+  result.overhead = overhead.finalize();
+
+  CELLREL_DCHECK(std::is_sorted(agg.devices().begin(), agg.devices().end(),
+                                [](const DeviceMeta& a, const DeviceMeta& b) {
+                                  return a.id < b.id;
+                                }))
+      << "shard merge must preserve device-id order";
+
+  agg.set_base_stations(snapshot_base_stations(registry));
+  publish_process_gauges(result, shards);
   return result;
 }
 
@@ -372,7 +554,7 @@ void Campaign::DeviceRun::plan_sessions() {
 }
 
 void Campaign::DeviceRun::account_session(const Session& s, bool failure_occurred) {
-  out_.dataset.connected_time.add(s.active.rat, s.active.level, s.dwell_s);
+  out_.connected_time.add(s.active.rat, s.active.level, s.dwell_s);
   if (s.transitioned_active) {
     TransitionRecord t;
     t.device = profile_.id;
@@ -381,14 +563,25 @@ void Campaign::DeviceRun::account_session(const Session& s, bool failure_occurre
     t.to_rat = s.active.rat;
     t.to_level = s.active.level;
     t.failure_within_window = failure_occurred;
-    out_.dataset.transitions.push_back(t);
+    // Streaming shards fold the sample straight into the count tables the
+    // transition matrices consume (integer sums: order-independent, so
+    // shard-local accumulation preserves bit-identity).
+    if (out_.streaming) {
+      out_.td_counts.add(t);
+    } else {
+      out_.transitions.push_back(t);
+    }
   } else {
     DwellRecord d;
     d.device = profile_.id;
     d.rat = s.active.rat;
     d.level = s.active.level;
     d.failure_within_window = failure_occurred;
-    out_.dataset.dwells.push_back(d);
+    if (out_.streaming) {
+      out_.td_counts.add(d);
+    } else {
+      out_.dwells.push_back(d);
+    }
   }
 }
 
@@ -407,8 +600,8 @@ void Campaign::DeviceRun::build_stack() {
   config.identity = {profile_.id, profile_.model->model_id, profile_.isp};
 
   mod_ = std::make_unique<AndroidMod>(
-      *sim_, rng_.fork(0xdeu), std::move(config), [this](std::vector<TraceRecord>&& batch) {
-        for (auto& r : batch) out_.dataset.records.push_back(std::move(r));
+      *sim_, rng_.fork(0xdeu), std::move(config), [this](std::span<TraceRecord> batch) {
+        for (const auto& r : batch) out_.emit(r);
       });
   mod_->set_metrics(&out_.metrics);
   auto& tm = mod_->telephony();
@@ -762,7 +955,7 @@ void Campaign::DeviceRun::execute() {
   meta.isp = profile_.isp;
   meta.has_5g = profile_.model->has_5g;
   meta.android = profile_.model->android;
-  out_.dataset.devices.push_back(meta);
+  out_.devices.push_back(meta);
 
   // Susceptibility to failures: per-model prevalence scaled by the ISP's
   // coverage quality (§3.3).
@@ -861,19 +1054,34 @@ CampaignResult Campaign::run() {
   const std::size_t shard_count = shard_count_for(fleet.size(), kDevicesPerShard);
   std::vector<ShardResult> shards(shard_count);
 
+  // Spill directory (streaming mode only; validated). Created once here so
+  // concurrent shards never race on directory creation.
+  const std::filesystem::path spill_dir = scenario_.spill_dir;
+  if (!spill_dir.empty()) std::filesystem::create_directories(spill_dir);
+
   auto run_shard = [&](std::size_t s) {
     const ShardRange range = shard_range(fleet.size(), shard_count, s);
     ShardResult& out = shards[s];
-    out.dataset.devices.reserve(range.size());
+    out.streaming = scenario_.stream;
+    out.devices.reserve(range.size());
+    // Batch capacity from the calibration's expected record count — a pure
+    // function of the fleet and scenario. This replaces the old merged-
+    // vector heuristic (`expected * 1.25 + 16`): the data plane allocates
+    // fixed-size columns, and the materialized merge reserves EXACTLY from
+    // the sealed-batch manifest.
     double expected_records = 0.0;
     for (std::size_t i = range.begin; i < range.end; ++i) {
       expected_records += expected_device_records(scenario_.calibration, fleet[i]);
     }
-    out.dataset.records.reserve(static_cast<std::size_t>(expected_records * 1.25) + 16);
+    out.batch_capacity = batch_capacity_for(expected_records);
+    if (!spill_dir.empty()) {
+      out.spill = std::make_unique<BatchSpillWriter>(spill_dir / spill_shard_file(s));
+    }
     for (std::size_t i = range.begin; i < range.end; ++i) {
       DeviceRun run(scenario_, *registry_, fleet[i], master_rng_.fork(fleet[i].id), out);
       run.execute();
     }
+    out.seal();
   };
 
   const std::uint32_t threads = scenario_.resolve_threads();
@@ -905,7 +1113,9 @@ CampaignResult Campaign::run() {
   CampaignResult result;
   {
     obs::PhaseSpan span(campaign_metrics, "merge");
-    result = merge_shard_results(*registry_, std::move(shards));
+    result = scenario_.stream
+                 ? merge_shard_results_streaming(*registry_, std::move(shards), spill_dir)
+                 : merge_shard_results(*registry_, std::move(shards));
   }
   // Campaign-level facts. Gauges record the workload's shape, not the
   // execution's: fleet size and shard count are pure functions of the

@@ -13,11 +13,20 @@
 // Parallel execution (Scenario::threads): the fleet is partitioned into
 // fixed-size contiguous shards — a pure function of the fleet, never of the
 // thread count — and each shard writes only to its own ShardResult (own
-// TraceDataset, recovery episodes, overhead sums, and a BS failure *delta*
-// instead of mutating shared registry counters). After the join, shards are
-// merged in shard-index order and averages are computed once from merged
-// sums, so the result is bit-identical for every threads value. See
-// DESIGN.md, "Parallel campaign execution & determinism contract".
+// columnar RecordBatches + APN pool, recovery episodes, overhead sums, and
+// a BS failure *delta* instead of mutating shared registry counters). After
+// the join, shards are merged in shard-index order and averages are
+// computed once from merged sums, so the result is bit-identical for every
+// threads value. See DESIGN.md, "Parallel campaign execution & determinism
+// contract".
+//
+// Data plane (see DESIGN.md §10): shards emit trace records into
+// fixed-capacity columnar RecordBatches (analysis/batch.h) instead of AoS
+// TraceRecord vectors. The merge either materializes the batches back into
+// CampaignResult::dataset with an exact reserve (materialized mode), or
+// folds them into a StreamingAggregator so the merged dataset never exists
+// (streaming mode, optionally spilling sealed batches to disk) — with
+// bit-identical analysis output either way.
 //
 // Hazard normalization: per-session failure probabilities are shaped by the
 // session context (ISP, BS, signal level, RAT transition, policy) and
@@ -33,6 +42,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/aggregate.h"
 #include "analysis/dataset.h"
 #include "bs/registry.h"
 #include "core/android_mod.h"
@@ -57,12 +67,22 @@ struct OverheadSummary {
 };
 
 struct CampaignResult {
+  /// Materialized mode (Scenario::stream == false): the full backend
+  /// dataset. Streaming mode leaves it EMPTY — records never exist as
+  /// merged TraceRecords; `stream` below holds every analysis table.
   TraceDataset dataset;
+  /// Streaming mode: the §3 analysis surface, folded incrementally from
+  /// columnar shard batches at merge time. Null in materialized mode.
+  /// Bit-identical query results to `Aggregator(dataset)` of a materialized
+  /// run of the same scenario, for every thread count.
+  std::unique_ptr<StreamingAggregator> stream;
   std::vector<RecoveryEpisode> recovery_episodes;
   OverheadSummary overhead;
   /// Per-shard metric sinks merged in shard-index order plus campaign-level
   /// phase timings; the sim-derived entries are bit-identical for every
-  /// `threads` value (see DESIGN.md, "Observability").
+  /// `threads` value (see DESIGN.md, "Observability"). Entries under
+  /// "process." (resident batch bytes, spill volume) are host-process
+  /// accounting and are excluded from the default export.
   obs::MetricRegistry metrics;
   std::uint64_t simulated_events = 0;
   std::uint64_t episodes_run = 0;

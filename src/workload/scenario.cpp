@@ -42,6 +42,9 @@ std::vector<ScenarioError> Scenario::validate() const {
                                      std::to_string(kMaxThreads) +
                                      " (0 means one per hardware thread)"});
   }
+  if (!spill_dir.empty() && !stream) {
+    errors.push_back({"spill_dir", "batch spilling requires streaming mode (set stream)"});
+  }
   if (recovery == RecoveryVariant::kTimpOptimized) {
     for (std::size_t i = 0; i < kRecoveryStageCount; ++i) {
       if (!(timp_schedule.probation[i] > SimDuration::zero())) {

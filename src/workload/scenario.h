@@ -37,6 +37,19 @@ struct Scenario {
   /// shard partition and merge order depend only on the scenario.
   std::uint32_t threads = 1;
 
+  /// Streaming aggregation: shards emit columnar RecordBatches that are
+  /// folded into a StreamingAggregator at merge time, and the merged
+  /// TraceDataset is never materialized (CampaignResult::dataset stays
+  /// empty; CampaignResult::stream holds every §3 table). Bit-identical
+  /// analysis output to the materialized path at every thread count.
+  bool stream = false;
+  /// When non-empty (streaming mode only), shards spill sealed batches to
+  /// "<spill_dir>/shard-<k>.csv" instead of retaining them in memory, and
+  /// the merge re-reads them in shard-index order: peak batch residency
+  /// drops to O(shards x batch capacity). The directory is created if
+  /// missing; existing shard files are overwritten.
+  std::string spill_dir;
+
   DeploymentConfig deployment;
 
   PolicyVariant policy = PolicyVariant::kStock;

@@ -20,7 +20,7 @@ struct DeviceHarness {
 
   explicit DeviceHarness(AndroidMod::Config config = make_config())
       : mod(sim, Rng{11}, std::move(config),
-            [this](std::vector<TraceRecord>&& batch) {
+            [this](std::span<TraceRecord> batch) {
               for (auto& r : batch) uploaded.push_back(std::move(r));
             }) {
     mod.monitor().set_observables_source([this] { return observables_copy(); });

@@ -15,7 +15,7 @@ TraceRecord record_with_device(DeviceId id) {
 
 TEST(Uploader, BuffersUntilWifi) {
   std::vector<TraceRecord> received;
-  TraceUploader uploader([&](std::vector<TraceRecord>&& batch) {
+  TraceUploader uploader([&](std::span<TraceRecord> batch) {
     for (auto& r : batch) received.push_back(std::move(r));
   });
   uploader.submit(record_with_device(1));
@@ -32,7 +32,7 @@ TEST(Uploader, BuffersUntilWifi) {
 
 TEST(Uploader, ImmediateUploadWhileOnWifi) {
   int batches = 0;
-  TraceUploader uploader([&](std::vector<TraceRecord>&&) { ++batches; });
+  TraceUploader uploader([&](std::span<TraceRecord>) { ++batches; });
   uploader.set_wifi_available(true);
   uploader.submit(record_with_device(1));
   uploader.submit(record_with_device(2));
@@ -42,7 +42,7 @@ TEST(Uploader, ImmediateUploadWhileOnWifi) {
 
 TEST(Uploader, ForcedFlushWithoutWifi) {
   int batches = 0;
-  TraceUploader uploader([&](std::vector<TraceRecord>&&) { ++batches; });
+  TraceUploader uploader([&](std::span<TraceRecord>) { ++batches; });
   uploader.submit(record_with_device(1));
   uploader.flush();
   EXPECT_EQ(batches, 1);

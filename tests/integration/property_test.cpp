@@ -167,7 +167,7 @@ TEST_P(MonitorAccuracyTest, MeasuredWithinProbeError) {
   std::vector<TraceRecord> uploaded;
   AndroidMod::Config config;
   config.identity = {5, 10, IspId::kIspA};
-  AndroidMod mod(sim, Rng{77}, std::move(config), [&](std::vector<TraceRecord>&& batch) {
+  AndroidMod mod(sim, Rng{77}, std::move(config), [&](std::span<TraceRecord> batch) {
     for (auto& r : batch) uploaded.push_back(std::move(r));
   });
   auto& tm = mod.telephony();

@@ -1,0 +1,33 @@
+// Seeded batch-hygiene violations: a raw std::string member, a per-record
+// std::string construction, and a per-record heap allocation. The
+// std::string_view column and this comment's std::string mention must NOT
+// be flagged.
+#ifndef FIXTURE_ANALYSIS_BATCH_H
+#define FIXTURE_ANALYSIS_BATCH_H
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fixture {
+
+struct Row {
+  std::string apn;  // violation 1: raw string member in the hot path
+};
+
+struct Batch {
+  std::vector<Row> rows;
+  std::vector<std::string_view> views;  // fine: string_view is exempt
+
+  void push(const char* apn) {
+    rows.push_back(Row{std::string(apn)});  // violation 2: per-record string
+    scratch_ = std::make_unique<Row>();     // violation 3: per-record heap alloc
+  }
+
+  std::unique_ptr<Row> scratch_;
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_ANALYSIS_BATCH_H

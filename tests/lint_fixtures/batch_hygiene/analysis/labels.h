@@ -1,0 +1,17 @@
+// Same tokens outside the hot path: batch-hygiene must stay silent here.
+#ifndef FIXTURE_ANALYSIS_LABELS_H
+#define FIXTURE_ANALYSIS_LABELS_H
+
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+struct Label {
+  std::string text;  // fine: not a batch hot file
+  std::unique_ptr<Label> next = std::make_unique<Label>();
+};
+
+}  // namespace fixture
+
+#endif  // FIXTURE_ANALYSIS_LABELS_H

@@ -67,6 +67,34 @@ TEST(MetricsExport, IncludeWallAddsWallSection) {
   EXPECT_NE(csv.find("wall_timer,phase.run,count,1\n"), std::string::npos);
 }
 
+TEST(MetricsExport, DefaultExportExcludesProcessMetrics) {
+  // `process.`-prefixed names carry host-side accounting (peak batch bytes,
+  // spill volume) that legitimately varies across execution modes; keeping
+  // them out of the default export preserves the bit-identity contract.
+  MetricRegistry reg = golden_registry();
+  reg.counter("process.dataplane.io_retries").add(2);
+  reg.gauge("process.dataplane.peak_batch_bytes").set(4096.0);
+  const std::string json = metrics_to_json(reg);
+  EXPECT_EQ(json.find("process."), std::string::npos);
+  const std::string csv = metrics_to_csv(reg);
+  EXPECT_EQ(csv.find("process."), std::string::npos);
+  // And the rest of the export is unaffected by their presence.
+  EXPECT_EQ(json, metrics_to_json(golden_registry()));
+}
+
+TEST(MetricsExport, IncludeProcessAddsProcessMetrics) {
+  MetricRegistry reg = golden_registry();
+  reg.counter("process.dataplane.io_retries").add(2);
+  reg.gauge("process.dataplane.peak_batch_bytes").set(4096.0);
+  ExportOptions opts;
+  opts.include_process = true;
+  const std::string json = metrics_to_json(reg, opts);
+  EXPECT_NE(json.find("\"process.dataplane.io_retries\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"process.dataplane.peak_batch_bytes\""), std::string::npos);
+  const std::string csv = metrics_to_csv(reg, opts);
+  EXPECT_NE(csv.find("counter,process.dataplane.io_retries,value,2\n"), std::string::npos);
+}
+
 TEST(MetricsExport, EmptyRegistryIsStillValidJson) {
   const std::string json = metrics_to_json(MetricRegistry{});
   EXPECT_EQ(json,

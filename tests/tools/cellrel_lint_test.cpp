@@ -61,6 +61,40 @@ TEST(CellrelLint, NakedNewAndDeleteDetected) {
             2);
 }
 
+TEST(CellrelLint, BatchHygieneFixtureTree) {
+  const auto violations = lint_tree(kFixtures / "batch_hygiene");
+  // analysis/batch.h seeds a raw string member, a per-record std::string
+  // construction, and a make_unique; the string_view column, the comment
+  // mentions, and the identical tokens in labels.h (not a hot file) must
+  // all stay silent.
+  EXPECT_EQ(std::count_if(violations.begin(), violations.end(),
+                          [](const Violation& v) { return v.rule == "batch-hygiene"; }),
+            3);
+  for (const auto& v : violations) {
+    if (v.rule == "batch-hygiene") {
+      EXPECT_EQ(v.file, "analysis/batch.h");
+    }
+  }
+}
+
+TEST(CellrelLint, BatchHygieneConfinedToHotFiles) {
+  const auto& opts = default_options();
+  const std::string source =
+      "#ifndef X\n#define X\nstruct R { std::string apn; };\n#endif\n";
+  EXPECT_TRUE(has_rule(lint_source(source, "analysis", "analysis/batch.h", opts),
+                       "batch-hygiene"));
+  EXPECT_FALSE(has_rule(lint_source(source, "analysis", "analysis/aggregate.h", opts),
+                        "batch-hygiene"));
+}
+
+TEST(CellrelLint, BatchHygieneAllowsStringView) {
+  const auto& opts = default_options();
+  const std::string source =
+      "#ifndef X\n#define X\nstruct R { std::string_view apn; };\n#endif\n";
+  EXPECT_FALSE(has_rule(lint_source(source, "analysis", "analysis/batch.h", opts),
+                        "batch-hygiene"));
+}
+
 TEST(CellrelLint, ModuleCycleDetected) {
   const auto violations = lint_tree(kFixtures / "cycle");
   ASSERT_TRUE(has_rule(violations, "module-cycle"));

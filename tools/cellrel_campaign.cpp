@@ -7,6 +7,14 @@
 // --threads 0 uses every hardware thread; any value produces a dataset AND
 // a --metrics-out file bit-identical to --threads 1 (the CELLREL_THREADS
 // env var, if set, wins).
+//
+// --stream runs the memory-bounded streaming aggregation path: shards emit
+// columnar record batches that are folded into a StreamingAggregator at
+// merge time and the merged dataset never exists in memory (so --out is
+// unavailable); the printed report and --metrics-out file are bit-identical
+// to the default path. --spill-dir DIR additionally spills sealed batches
+// to per-shard CSV files under DIR, bounding batch residency to
+// O(shards x batch capacity).
 
 #include <cstdio>
 #include <fstream>
@@ -23,8 +31,10 @@ using namespace cellrel;
 
 namespace {
 
-void print_report(const CampaignResult& result) {
-  const Aggregator agg(result.dataset);
+/// Headline report over either aggregation surface (Aggregator or
+/// StreamingAggregator — identical query set, identical output bytes).
+template <typename Agg>
+void print_report_from(const Agg& agg, const CampaignResult& result) {
   const auto overall = agg.overall();
   const SampleSet durations = agg.durations_all();
   const auto share = agg.duration_share_by_type();
@@ -39,6 +49,14 @@ void print_report(const CampaignResult& result) {
               agg.filter_score().precision(), agg.filter_score().recall(),
               static_cast<unsigned long long>(result.simulated_events),
               static_cast<unsigned long long>(result.episodes_run));
+}
+
+void print_report(const CampaignResult& result) {
+  if (result.stream) {
+    print_report_from(*result.stream, result);
+  } else {
+    print_report_from(Aggregator(result.dataset), result);
+  }
 }
 
 bool write_file(const std::string& path, const std::string& content) {
@@ -91,6 +109,11 @@ int main(int argc, char** argv) {
                   [&sc] { sc.monitor_probing = false; });
   parser.add_flag("--no-dualconn", "disable 4G/5G dual connectivity",
                   [&sc] { sc.dual_connectivity = false; });
+  parser.add_flag("--stream", "streaming aggregation (merged dataset never materialized)",
+                  [&sc] { sc.stream = true; });
+  parser.add_option("--spill-dir", "DIR",
+                    "spill sealed record batches to DIR (requires --stream)",
+                    cli::string_value(&sc.spill_dir));
   parser.add_option("--out", "DIR", "export the dataset as CSV into DIR",
                     cli::string_value(&out_dir));
   parser.add_option("--metrics-out", "FILE", "export campaign metrics as JSON",
@@ -119,15 +142,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "invalid scenario:\n%s", format_errors(errors).c_str());
     return 2;
   }
+  if (sc.stream && !out_dir.empty()) {
+    std::fprintf(stderr,
+                 "error: --out needs the materialized dataset; it cannot be combined "
+                 "with --stream\n");
+    return 2;
+  }
 
   if (!quiet) {
     std::printf("campaign: %u devices, %u BSes, %.0f days, seed %llu, policy=%s, "
-                "recovery=%s, probing=%s, threads=%u\n",
+                "recovery=%s, probing=%s, threads=%u%s%s%s\n",
                 sc.device_count, sc.deployment.bs_count, sc.campaign_days,
                 static_cast<unsigned long long>(sc.seed),
                 std::string(to_string(sc.policy)).c_str(),
                 std::string(to_string(sc.recovery)).c_str(),
-                sc.monitor_probing ? "on" : "off", sc.resolve_threads());
+                sc.monitor_probing ? "on" : "off", sc.resolve_threads(),
+                sc.stream ? ", streaming" : "",
+                sc.spill_dir.empty() ? "" : ", spill=", sc.spill_dir.c_str());
   }
   Campaign campaign(sc);
   const CampaignResult result = campaign.run();

@@ -570,6 +570,34 @@ void scan_nodiscard(const std::vector<Token>& code, const std::string& relative_
   }
 }
 
+/// Rule 9: batch-hygiene — the columnar batch hot path must stay
+/// allocation-free per record: no raw std::string (APN text is interned
+/// through StringPool/ApnId; std::string_view is fine because the lexer
+/// keeps `string_view` as one identifier) and no per-record heap
+/// allocation. `new` is double-flagged with naked-new on purpose: the
+/// batch-specific message explains the arena discipline.
+void scan_batch_hygiene(const std::vector<Token>& code, const std::string& relative_path,
+                        const LintOptions& options, FileAnalysis* out) {
+  if (options.batch_hot_files.count(relative_path) == 0) return;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].kind != TokKind::kIdentifier) continue;
+    const std::string& t = code[i].text;
+    if (t == "std" && is_punct(code, i + 1, "::") && is_ident(code, i + 2, "string")) {
+      out->violations.push_back(
+          {relative_path, code[i + 2].line, "batch-hygiene",
+           "raw 'std::string' in the batch hot path; APN text must be interned "
+           "through StringPool/ApnId (std::string_view is fine)"});
+    }
+    if (t == "make_unique" || t == "make_shared" || t == "new") {
+      out->violations.push_back(
+          {relative_path, code[i].line, "batch-hygiene",
+           "per-record heap allocation ('" + t + "') in the batch hot path; "
+           "columns grow through vector reserve and batches are recycled "
+           "through the BatchArena"});
+    }
+  }
+}
+
 /// Tree-level helper: does the header open with a guard?
 bool has_include_guard(const std::vector<Token>& code) {
   if (code.size() >= 3 && is_punct(code, 0, "#") && is_ident(code, 1, "pragma") &&
@@ -601,6 +629,7 @@ FileAnalysis analyze_source(const std::string& source, const std::string& module
   scan_shard_state(code, relative_path, options, &out);
   scan_ordered_export(code, module, relative_path, options, &out);
   scan_nodiscard(code, relative_path, options, &out);
+  scan_batch_hygiene(code, relative_path, options, &out);
   out.has_include_guard = has_include_guard(code);
 
   // Suppressions: drop findings covered by a justification-carrying
@@ -639,6 +668,8 @@ FileAnalysis analyze_source(const std::string& source, const std::string& module
 const std::vector<RuleInfo>& rule_catalog() {
   static const std::vector<RuleInfo> kRules = {
       {"bad-suppression", "suppression comments must carry a non-empty reason"},
+      {"batch-hygiene",
+       "no std::string or per-record heap allocation in the columnar batch hot path"},
       {"include-cycle", "the file-level include graph must stay acyclic"},
       {"include-guard", "headers need #pragma once or an #ifndef/#define guard"},
       {"io-error", "a scanned path could not be read"},
@@ -672,6 +703,7 @@ LintOptions default_options() {
   o.layers = default_layers();
   o.ordered_export_modules = {"obs", "analysis"};
   o.ordered_export_files = {"workload/campaign.cpp", "workload/campaign.h"};
+  o.batch_hot_files = {"analysis/batch.h", "analysis/batch.cpp"};
   o.must_check = {
       {"validate", /*member_only=*/true},
       {"parse_rat", false},

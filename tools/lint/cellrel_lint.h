@@ -33,11 +33,17 @@
 //  8. nodiscard-check — results of must-check APIs (Scenario::validate,
 //                       parse_* in common/names.h) may not be discarded;
 //                       an explicit `(void)` cast opts out.
+//  9. batch-hygiene   — raw `std::string` and per-record heap allocation
+//                       (new / make_unique / make_shared) are banned in the
+//                       columnar batch hot path (analysis/batch.*): APN text
+//                       is interned through StringPool/ApnId and columns only
+//                       grow through vector reserve + the BatchArena.
+//                       `std::string_view` is fine.
 //
 //  tree-level
-//  9. module-cycle    — the module dependency graph must stay acyclic.
-// 10. include-cycle   — the file-level include graph must stay acyclic.
-// 11. include-guard   — every header needs #pragma once or a classic
+// 10. module-cycle    — the module dependency graph must stay acyclic.
+// 11. include-cycle   — the file-level include graph must stay acyclic.
+// 12. include-guard   — every header needs #pragma once or a classic
 //                       #ifndef/#define guard.
 //
 // Suppressions: a finding on line N is suppressed by a comment on line N
@@ -95,6 +101,9 @@ struct LintOptions {
   std::set<std::string> ordered_export_modules;
   /// Extra files (tree-relative) in the deterministic export surface.
   std::set<std::string> ordered_export_files;
+  /// Files (tree-relative) forming the columnar batch hot path, where
+  /// batch-hygiene bans std::string and per-record heap allocation.
+  std::set<std::string> batch_hot_files;
   /// APIs whose results may not be discarded.
   std::vector<MustCheckApi> must_check;
 };
