@@ -156,6 +156,45 @@ std::optional<TraceRecord> trace_record_from_csv(std::string_view line) {
   return r;
 }
 
+namespace {
+
+// Section writers shared by the materialized exporter and the streaming
+// sidecar exporter, so the two paths cannot drift format-wise.
+
+void write_devices_csv(std::span<const DeviceMeta> devices,
+                       const std::filesystem::path& dir) {
+  auto out = open_out(dir / DatasetFiles::kDevices);
+  out << "device,model,isp,has_5g,android\n";
+  for (const auto& d : devices) {
+    out << d.id << ',' << d.model_id << ',' << to_string(d.isp) << ','
+        << (d.has_5g ? 1 : 0) << ',' << static_cast<int>(d.android) << '\n';
+  }
+}
+
+void write_base_stations_csv(std::span<const BsMeta> base_stations,
+                             const std::filesystem::path& dir) {
+  auto out = open_out(dir / DatasetFiles::kBaseStations);
+  out << "index,isp,rat_mask,location,failure_count\n";
+  for (const auto& bs : base_stations) {
+    out << bs.index << ',' << to_string(bs.isp) << ',' << static_cast<int>(bs.rat_mask)
+        << ',' << static_cast<int>(bs.location) << ',' << bs.failure_count << '\n';
+  }
+}
+
+void write_connected_time_csv(const ConnectedTimeTable& table,
+                              const std::filesystem::path& dir) {
+  auto out = open_out(dir / DatasetFiles::kConnectedTime);
+  out << "rat,level,seconds\n";
+  for (Rat rat : kAllRats) {
+    for (SignalLevel level : kAllSignalLevels) {
+      out << to_string(rat) << ',' << index_of(level) << ',' << table.at(rat, level)
+          << '\n';
+    }
+  }
+}
+
+}  // namespace
+
 void write_dataset_csv(const TraceDataset& dataset, const std::filesystem::path& dir) {
   std::filesystem::create_directories(dir);
 
@@ -164,32 +203,9 @@ void write_dataset_csv(const TraceDataset& dataset, const std::filesystem::path&
     out << trace_csv_header() << '\n';
     for (const auto& r : dataset.records) out << to_csv(r) << '\n';
   }
-  {
-    auto out = open_out(dir / DatasetFiles::kDevices);
-    out << "device,model,isp,has_5g,android\n";
-    for (const auto& d : dataset.devices) {
-      out << d.id << ',' << d.model_id << ',' << to_string(d.isp) << ','
-          << (d.has_5g ? 1 : 0) << ',' << static_cast<int>(d.android) << '\n';
-    }
-  }
-  {
-    auto out = open_out(dir / DatasetFiles::kBaseStations);
-    out << "index,isp,rat_mask,location,failure_count\n";
-    for (const auto& bs : dataset.base_stations) {
-      out << bs.index << ',' << to_string(bs.isp) << ',' << static_cast<int>(bs.rat_mask)
-          << ',' << static_cast<int>(bs.location) << ',' << bs.failure_count << '\n';
-    }
-  }
-  {
-    auto out = open_out(dir / DatasetFiles::kConnectedTime);
-    out << "rat,level,seconds\n";
-    for (Rat rat : kAllRats) {
-      for (SignalLevel level : kAllSignalLevels) {
-        out << to_string(rat) << ',' << index_of(level) << ','
-            << dataset.connected_time.at(rat, level) << '\n';
-      }
-    }
-  }
+  write_devices_csv(dataset.devices, dir);
+  write_base_stations_csv(dataset.base_stations, dir);
+  write_connected_time_csv(dataset.connected_time, dir);
   {
     auto out = open_out(dir / DatasetFiles::kTransitions);
     out << "device,from_rat,from_level,to_rat,to_level,failure\n";
@@ -449,6 +465,55 @@ void read_spill_batches(const std::filesystem::path& file, std::size_t capacity,
     }
   });
   if (!batch.empty()) fn(batch);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming dataset export
+// ---------------------------------------------------------------------------
+
+TraceCsvStreamWriter::TraceCsvStreamWriter(const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  file_ = dir / DatasetFiles::kRecords;
+  out_.open(file_);
+  if (!out_) {
+    throw std::runtime_error("csv_io: cannot write " + file_.string());
+  }
+  out_ << trace_csv_header() << '\n';
+}
+
+void TraceCsvStreamWriter::append(const RecordBatch& batch, const MaterializeContext& ctx) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    out_ << to_csv(batch.materialize_row(i, ctx)) << '\n';
+    ++records_;
+  }
+}
+
+void TraceCsvStreamWriter::close() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("csv_io: streaming record export failed for " + file_.string());
+  }
+  out_.close();
+}
+
+void write_streaming_sidecars_csv(const StreamingAggregator& agg,
+                                  const std::filesystem::path& dir) {
+  std::filesystem::create_directories(dir);
+  write_devices_csv(agg.devices(), dir);
+  write_base_stations_csv(agg.base_stations(), dir);
+  write_connected_time_csv(agg.connected_time(), dir);
+  // Streaming shards fold transition/dwell samples into count tables at
+  // emission time; the per-sample rows intentionally no longer exist, so the
+  // export carries the headers only (read_dataset_csv accepts empty tables).
+  {
+    auto out = open_out(dir / DatasetFiles::kTransitions);
+    out << "device,from_rat,from_level,to_rat,to_level,failure\n";
+  }
+  {
+    auto out = open_out(dir / DatasetFiles::kDwells);
+    out << "device,rat,level,failure\n";
+  }
 }
 
 }  // namespace cellrel

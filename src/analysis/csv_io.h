@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/aggregate.h"
 #include "analysis/batch.h"
 #include "analysis/dataset.h"
 
@@ -109,6 +110,47 @@ std::optional<RecordBatch::RowView> spill_row_from_csv(std::string_view line,
 void read_spill_batches(const std::filesystem::path& file, std::size_t capacity,
                         StringPool& apns,
                         const std::function<void(const RecordBatch&)>& fn);
+
+// ---------------------------------------------------------------------------
+// Streaming dataset export (--stream --out)
+// ---------------------------------------------------------------------------
+//
+// Trace-level CSV export used to require the materialized merge: the writer
+// took a whole TraceDataset. The streaming converter instead rides the
+// streaming merge — each columnar batch is expanded row-by-row through the
+// shard's MaterializeContext (the same re-derivation the materialized merge
+// performs) and appended to records.csv as it is consumed, so the export
+// runs in O(1) record memory and records.csv is byte-identical to
+// write_dataset_csv()'s for the same scenario.
+
+/// Appends materialized batch rows to "<dir>/records.csv" (dir created if
+/// missing; header written on open). Throws std::runtime_error on I/O
+/// failure.
+class TraceCsvStreamWriter {
+ public:
+  explicit TraceCsvStreamWriter(const std::filesystem::path& dir);
+
+  /// Writes every row of `batch`, expanded through `ctx` (to_csv format).
+  void append(const RecordBatch& batch, const MaterializeContext& ctx);
+
+  /// Flushes and closes; throws std::runtime_error if the stream failed.
+  void close();
+
+  std::uint64_t records_written() const { return records_; }
+
+ private:
+  std::filesystem::path file_;
+  std::ofstream out_;
+  std::uint64_t records_ = 0;
+};
+
+/// Writes the non-record tables of a streaming campaign under `dir`:
+/// devices, base_stations and connected_time from the aggregator's retained
+/// copies (byte-identical to the materialized export), transitions and
+/// dwells header-only — streaming shards collapse those per-sample rows
+/// into order-independent count tables, so the samples no longer exist.
+void write_streaming_sidecars_csv(const StreamingAggregator& agg,
+                                  const std::filesystem::path& dir);
 
 }  // namespace cellrel
 

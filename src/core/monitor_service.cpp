@@ -63,6 +63,7 @@ void MonitorService::write_record(TraceRecord record) {
   ++records_written_;
   if (metrics_.records) metrics_.records->add();
   if (metrics_.filtered_fp && record.filtered_false_positive) metrics_.filtered_fp->add();
+  if (observe_record_) observe_record_(record);
   uploader_.submit(std::move(record));
 }
 

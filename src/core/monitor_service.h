@@ -44,6 +44,8 @@ class MonitorService final : public FailureEventListener {
   };
   using CellResolver = std::function<CellIdentity(BsIndex)>;
   using ObservablesSource = std::function<DeviceObservables()>;
+  /// Observer for the monitor's record fan-out (see set_record_observer).
+  using RecordObserver = std::function<void(const TraceRecord&)>;
 
   MonitorService(TelephonyManager& telephony, Identity identity, TraceUploader::Sink sink);
   MonitorService(TelephonyManager& telephony, Identity identity, TraceUploader::Sink sink,
@@ -81,6 +83,17 @@ class MonitorService final : public FailureEventListener {
   /// rounds. Pass nullptr to detach.
   void set_metrics(obs::MetricSink* sink);
 
+  /// Subscribes an observer to the monitor's record fan-out: called once per
+  /// finalized record — kept AND filtered, verdicts attached — right before
+  /// it is handed to the uploader. This is the tap network-side consumers
+  /// (the sleeping-cell detection service) attach to; the callback sees only
+  /// what the monitor uploads, never simulator ground truth, and must not
+  /// mutate device state. Not billed to the device's overhead accountant
+  /// (the consumer is backend-side). Pass an empty function to detach.
+  void set_record_observer(RecordObserver observer) {
+    observe_record_ = std::move(observer);
+  }
+
  private:
   struct Metrics {
     obs::Counter* events = nullptr;
@@ -114,6 +127,7 @@ class MonitorService final : public FailureEventListener {
   OverheadAccountant overhead_;
   CellResolver resolve_cell_;
   ObservablesSource observables_;
+  RecordObserver observe_record_;
 
   // Open setup-error episode: events buffered until the connection
   // activates; the episode duration is split across its events.

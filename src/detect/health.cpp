@@ -1,0 +1,82 @@
+#include "detect/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cellrel::detect {
+
+std::size_t HealthConfig::windows() const {
+  CELLREL_CHECK(window_s > 0.0) << "detect window must be positive";
+  CELLREL_CHECK(horizon_s > 0.0) << "detect horizon must be positive";
+  const double n = std::ceil(horizon_s / window_s);
+  return std::max<std::size_t>(1, static_cast<std::size_t>(n));
+}
+
+HealthTracker::HealthTracker(const HealthConfig& config)
+    : config_(config), windows_(config.windows()) {}
+
+std::size_t HealthTracker::window_of(SimTime at) const {
+  const std::int64_t us = at.since_origin().count_us();
+  if (us <= 0) return 0;
+  const std::int64_t window_us =
+      static_cast<std::int64_t>(config_.window_s * 1e6);
+  const std::size_t w = static_cast<std::size_t>(us / window_us);
+  return std::min(w, windows_ - 1);
+}
+
+void HealthTracker::on_record(const TraceRecord& record) {
+  ++records_seen_;
+  if (record.bs == kInvalidBs) {
+    ++records_unattributed_;
+    return;
+  }
+  CellHealth& cell = cells_[record.bs];
+  if (cell.window_events.empty()) {
+    cell.window_events.assign(windows_, 0);
+    cell.window_kept.assign(windows_, 0);
+  }
+  const std::size_t w = window_of(record.at);
+  ++cell.window_events[w];
+  ++cell.events;
+  const std::int64_t us = record.at.since_origin().count_us();
+  cell.first_event_us = std::min(cell.first_event_us, us);
+  cell.last_event_us = std::max(cell.last_event_us, us);
+  if (record.filtered_false_positive) {
+    ++cell.filtered;
+  } else {
+    ++cell.window_kept[w];
+    ++cell.kept;
+    ++cell.type_counts[index_of(record.type)];
+  }
+}
+
+void HealthTracker::merge(const HealthTracker& other) {
+  CELLREL_CHECK(windows_ == other.windows_ &&
+                config_.window_s == other.config_.window_s)
+      << "merging health trackers with different window shapes";
+  records_seen_ += other.records_seen_;
+  records_unattributed_ += other.records_unattributed_;
+  for (const auto& [bs, theirs] : other.cells_) {
+    CellHealth& mine = cells_[bs];
+    if (mine.window_events.empty()) {
+      mine.window_events.assign(windows_, 0);
+      mine.window_kept.assign(windows_, 0);
+    }
+    for (std::size_t w = 0; w < windows_; ++w) {
+      mine.window_events[w] += theirs.window_events[w];
+      mine.window_kept[w] += theirs.window_kept[w];
+    }
+    for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+      mine.type_counts[t] += theirs.type_counts[t];
+    }
+    mine.events += theirs.events;
+    mine.kept += theirs.kept;
+    mine.filtered += theirs.filtered;
+    mine.first_event_us = std::min(mine.first_event_us, theirs.first_event_us);
+    mine.last_event_us = std::max(mine.last_event_us, theirs.last_event_us);
+  }
+}
+
+}  // namespace cellrel::detect

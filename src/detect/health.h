@@ -1,0 +1,109 @@
+// cellrel-detect: online BS-health tracking (ROADMAP item 4).
+//
+// A HealthTracker is the per-shard, online half of the sleeping-cell
+// detection service. It subscribes to the monitor's record fan-out
+// (MonitorService::set_record_observer) and folds every trace record the
+// Android-MOD fleet writes — kept and filtered alike — into per-BS
+// sliding-window health state keyed to SIMULATED time: per-window event
+// counts, kept-vs-filtered verdict mix, per-failure-type totals, and
+// first/last activity stamps. It observes exactly what a network-side
+// health service could observe (the uploaded stream); ground truth never
+// flows through it.
+//
+// Determinism contract (DESIGN.md §6/§11): every field a tracker holds is
+// an integer count, an integer min, or an integer max, so merging shard
+// trackers is order-independent and the merged state — and every verdict
+// the SleepingCellDetector derives from it — is bit-identical for every
+// `--threads` value. The campaign merges trackers in shard-index order
+// anyway, like every other ShardResult field.
+
+#ifndef CELLREL_DETECT_HEALTH_H
+#define CELLREL_DETECT_HEALTH_H
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/trace.h"
+
+namespace cellrel::detect {
+
+/// Detection parameters. `window_s`/`horizon_s` come from the scenario
+/// (Scenario::detect_window_s and the campaign length); the thresholds have
+/// defaults tuned on the golden scenario (tests/workload/detection_
+/// campaign_test.cpp keeps them honest against injected ground truth).
+struct HealthConfig {
+  /// Width of one health window, in simulated seconds.
+  double window_s = 86'400.0;
+  /// Campaign span covered by the window series, in simulated seconds.
+  /// Records past the horizon (episode drain tails) land in the last window.
+  double horizon_s = 240.0 * 86'400.0;
+  /// EWMA smoothing factor over per-window kept-event counts.
+  double ewma_alpha = 0.3;
+  /// Kept-record evidence at which a cell is flagged sleeping.
+  std::uint64_t sleeping_min_kept = 8;
+  /// Peak kept-rate EWMA (events/window) at which a still-unflagged cell is
+  /// reported degraded.
+  double degraded_min_ewma = 1.0;
+  /// Ground-truth failure count at which a cell counts as truly sleeping
+  /// when the report is scored against the registry.
+  std::uint64_t truth_min_failures = 8;
+
+  /// Number of windows spanning the horizon (>= 1).
+  std::size_t windows() const;
+};
+
+/// Windowed health state for one base station. All integers: shard merge is
+/// elementwise addition (plus min/max for the activity stamps).
+struct CellHealth {
+  /// Per-window record counts (every record the monitor wrote).
+  std::vector<std::uint32_t> window_events;
+  /// Per-window records that survived false-positive filtering.
+  std::vector<std::uint32_t> window_kept;
+  /// Kept records by failure type (the cell's failure-type mix).
+  std::array<std::uint64_t, kFailureTypeCount> type_counts{};
+  std::uint64_t events = 0;    // all records
+  std::uint64_t kept = 0;      // records with a kept (non-FP) verdict
+  std::uint64_t filtered = 0;  // records the filter removed
+  std::int64_t first_event_us = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last_event_us = std::numeric_limits<std::int64_t>::min();
+};
+
+/// Per-shard streaming consumer of the monitor's record stream.
+class HealthTracker {
+ public:
+  explicit HealthTracker(const HealthConfig& config);
+
+  /// Observer entry point: folds one trace record into the owning BS's
+  /// window state. Records without a BS identity (legacy voice drops
+  /// reported off-cell) are counted but not attributed.
+  void on_record(const TraceRecord& record);
+
+  /// Accumulates another shard's tracker (same config shape — checked).
+  /// Pure integer sums and min/max folds: the merged state is independent
+  /// of merge order.
+  void merge(const HealthTracker& other);
+
+  const HealthConfig& config() const { return config_; }
+  /// Per-BS state, ordered by BS index (std::map: the detector's export
+  /// path iterates this).
+  const std::map<BsIndex, CellHealth>& cells() const { return cells_; }
+  std::uint64_t records_seen() const { return records_seen_; }
+  std::uint64_t records_unattributed() const { return records_unattributed_; }
+
+  /// Window index for a simulated timestamp (clamped to the horizon).
+  std::size_t window_of(SimTime at) const;
+
+ private:
+  HealthConfig config_;
+  std::size_t windows_ = 1;
+  std::map<BsIndex, CellHealth> cells_;
+  std::uint64_t records_seen_ = 0;
+  std::uint64_t records_unattributed_ = 0;
+};
+
+}  // namespace cellrel::detect
+
+#endif  // CELLREL_DETECT_HEALTH_H

@@ -124,6 +124,11 @@ struct ShardResult {
 
   std::vector<RecoveryEpisode> recovery_episodes;
   OverheadAccum overhead;
+  /// Online BS-health state (Scenario::detect): fed from every device
+  /// monitor's record fan-out, merged in shard-index order after the join.
+  /// Null when detection is off — the observer hook stays unset and the
+  /// record path pays nothing.
+  std::unique_ptr<detect::HealthTracker> health;
   /// Every device of the shard writes its metrics here; merged in
   /// shard-index order after the join.
   obs::MetricSink metrics;
@@ -209,6 +214,12 @@ void merge_shard_common(CampaignResult& result, OverheadAccum& overhead, BsRegis
   result.simulated_events += s.simulated_events;
   result.episodes_run += s.episodes_run;
   registry.apply_failure_delta(s.bs_failures);
+  if (s.health) {
+    if (!result.health_state) {
+      result.health_state = std::make_unique<detect::HealthTracker>(s.health->config());
+    }
+    result.health_state->merge(*s.health);
+  }
 }
 
 /// Post-merge BS landscape snapshot (counters included).
@@ -315,23 +326,43 @@ CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult
 /// time.
 CampaignResult merge_shard_results_streaming(BsRegistry& registry,
                                              std::vector<ShardResult>&& shards,
-                                             const std::filesystem::path& spill_dir) {
+                                             const std::filesystem::path& spill_dir,
+                                             const std::filesystem::path& stream_out_dir) {
   CampaignResult result;
   result.stream = std::make_unique<StreamingAggregator>();
   StreamingAggregator& agg = *result.stream;
+
+  // Streaming dataset export (--stream --out): each batch is expanded
+  // row-by-row through the shard's MaterializeContext and appended to
+  // records.csv as it is consumed — the record order (shard index, then
+  // emission order) equals the materialized dataset's, so the file is
+  // byte-identical to write_dataset_csv()'s.
+  std::unique_ptr<TraceCsvStreamWriter> export_csv;
+  if (!stream_out_dir.empty()) {
+    export_csv = std::make_unique<TraceCsvStreamWriter>(stream_out_dir);
+  }
+  const auto resolve_cell = [&registry](BsIndex bs) { return registry.at(bs).identity(); };
 
   OverheadAccum overhead;
   std::size_t shard_index = 0;
   for (ShardResult& s : shards) {
     agg.add_devices(std::span<const DeviceMeta>(s.devices));
+    MaterializeContext ctx;
+    ctx.devices = std::span<const DeviceMeta>(s.devices);  // add_devices copied them
+    ctx.resolve_cell = resolve_cell;
     if (!spill_dir.empty()) {
-      StringPool reload_apns;  // ids are shard-local; the consumer ignores them
+      StringPool reload_apns;  // ids are shard-local; the aggregator ignores them
+      ctx.apns = &reload_apns;
       read_spill_batches(spill_dir / spill_shard_file(shard_index), s.batch_capacity,
-                         reload_apns,
-                         [&agg](const RecordBatch& b) { agg.consume(b); });
+                         reload_apns, [&agg, &export_csv, &ctx](const RecordBatch& b) {
+                           agg.consume(b);
+                           if (export_csv) export_csv->append(b, ctx);
+                         });
     } else {
+      ctx.apns = &s.apns;
       for (RecordBatch& b : s.batches) {
         agg.consume(b);
+        if (export_csv) export_csv->append(b, ctx);
         b = RecordBatch{};  // free column buffers as we go
       }
       s.batches.clear();
@@ -350,6 +381,10 @@ CampaignResult merge_shard_results_streaming(BsRegistry& registry,
       << "shard merge must preserve device-id order";
 
   agg.set_base_stations(snapshot_base_stations(registry));
+  if (export_csv) {
+    export_csv->close();
+    write_streaming_sidecars_csv(agg, stream_out_dir);
+  }
   publish_process_gauges(result, shards);
   return result;
 }
@@ -604,6 +639,14 @@ void Campaign::DeviceRun::build_stack() {
         for (const auto& r : batch) out_.emit(r);
       });
   mod_->set_metrics(&out_.metrics);
+  if (out_.health) {
+    // BS-health fan-out: the tracker sees exactly what the monitor writes
+    // (kept and filtered records, post-verdict) — never ground truth. Not
+    // billed to the device's overhead accountant: the observer models the
+    // backend's ingest, not on-device work.
+    mod_->monitor().set_record_observer(
+        [this](const TraceRecord& r) { out_.health->on_record(r); });
+  }
   auto& tm = mod_->telephony();
   tm.register_failure_listener(this);
   mod_->monitor().set_observables_source([this] { return observables_; });
@@ -1074,6 +1117,12 @@ CampaignResult Campaign::run() {
       expected_records += expected_device_records(scenario_.calibration, fleet[i]);
     }
     out.batch_capacity = batch_capacity_for(expected_records);
+    if (scenario_.detect) {
+      detect::HealthConfig hc;
+      hc.window_s = scenario_.detect_window_s;
+      hc.horizon_s = scenario_.campaign_days * 86'400.0;
+      out.health = std::make_unique<detect::HealthTracker>(hc);
+    }
     if (!spill_dir.empty()) {
       out.spill = std::make_unique<BatchSpillWriter>(spill_dir / spill_shard_file(s));
     }
@@ -1114,8 +1163,21 @@ CampaignResult Campaign::run() {
   {
     obs::PhaseSpan span(campaign_metrics, "merge");
     result = scenario_.stream
-                 ? merge_shard_results_streaming(*registry_, std::move(shards), spill_dir)
+                 ? merge_shard_results_streaming(*registry_, std::move(shards), spill_dir,
+                                                 scenario_.stream_out_dir)
                  : merge_shard_results(*registry_, std::move(shards));
+  }
+  // Online detection verdict: score the merged tracker state against the
+  // registry's ground truth (failure deltas were applied during the merge,
+  // so the counts are final here). Runs single-threaded over merged state —
+  // bit-identical output for every thread count.
+  if (result.health_state) {
+    obs::PhaseSpan span(campaign_metrics, "detect");
+    const std::vector<std::uint64_t> truth = registry_->failure_counts();
+    detect::SleepingCellDetector detector(result.health_state->config());
+    result.health =
+        std::make_unique<detect::HealthReport>(detector.analyze(*result.health_state, truth));
+    detect::publish_health_metrics(*result.health, result.metrics);
   }
   // Campaign-level facts. Gauges record the workload's shape, not the
   // execution's: fleet size and shard count are pure functions of the

@@ -46,6 +46,7 @@
 #include "analysis/dataset.h"
 #include "bs/registry.h"
 #include "core/android_mod.h"
+#include "detect/detector.h"
 #include "device/device.h"
 #include "obs/metrics.h"
 #include "workload/scenario.h"
@@ -84,6 +85,15 @@ struct CampaignResult {
   /// "process." (resident batch bytes, spill volume) are host-process
   /// accounting and are excluded from the default export.
   obs::MetricRegistry metrics;
+  /// Online BS-health detection (Scenario::detect): the per-shard
+  /// HealthTracker states merged in shard-index order, and the detector's
+  /// scored report over that merged state (precision/recall vs the
+  /// registry's injected ground truth, time-to-detect samples, Zipf-rank
+  /// agreement). Null when detection is off. Bit-identical for every
+  /// `threads` value — tracker state is pure integer counts and min/max
+  /// folds, so the merge is order-independent.
+  std::unique_ptr<detect::HealthTracker> health_state;
+  std::unique_ptr<detect::HealthReport> health;
   std::uint64_t simulated_events = 0;
   std::uint64_t episodes_run = 0;
 };

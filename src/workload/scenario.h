@@ -49,6 +49,26 @@ struct Scenario {
   /// drops to O(shards x batch capacity). The directory is created if
   /// missing; existing shard files are overwritten.
   std::string spill_dir;
+  /// When non-empty (streaming mode only), the merge streams every record
+  /// through the dataset CSV writer into this directory while it folds
+  /// batches into the aggregator, so `--stream --out` exports a trace-level
+  /// dataset without ever materializing it. records/devices/base_stations/
+  /// connected_time are byte-identical to a materialized export of the same
+  /// scenario; transitions/dwells are written header-only (streaming shards
+  /// collapse those samples into count tables).
+  std::string stream_out_dir;
+
+  /// Online sleeping-cell detection (src/detect, DESIGN.md §11): every shard
+  /// runs a HealthTracker subscribed to its monitors' record fan-out;
+  /// trackers merge in shard-index order and the SleepingCellDetector scores
+  /// the merged state against the registry's injected ground truth. Results
+  /// land in CampaignResult::health / ::health_state and the "health.*"
+  /// metric namespace — bit-identical for every `threads` value. Off by
+  /// default (the fan-out hook stays unset: zero per-record overhead).
+  bool detect = false;
+  /// Width of one detection window in simulated seconds (>= 1 when detect
+  /// is set). Default: one simulated day.
+  double detect_window_s = 86'400.0;
 
   DeploymentConfig deployment;
 

@@ -1,0 +1,14 @@
+// Seeded violation: the detector keys silence gaps to SimTime; reading the
+// host clock here would break replay determinism. One nondeterminism
+// finding expected.
+#include <chrono>
+
+namespace cellrel::detect {
+
+long window_stamp_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace cellrel::detect

@@ -1,0 +1,21 @@
+// Seeded violation: detect is part of the deterministic export surface
+// (health reports must be byte-identical across thread counts), so
+// unordered-container iteration is banned. One ordered-export finding
+// expected.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cellrel::detect {
+
+std::vector<std::string> render_cells(
+    const std::unordered_map<std::uint32_t, std::uint64_t>& cells) {
+  std::vector<std::string> rows;
+  for (const auto& [bs, kept] : cells) {  // violation: unordered range-for
+    rows.push_back(std::to_string(bs) + ":" + std::to_string(kept));
+  }
+  return rows;
+}
+
+}  // namespace cellrel::detect

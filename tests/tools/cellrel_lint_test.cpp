@@ -459,9 +459,28 @@ TEST(CellrelLint, ObsContainmentFixtureTree) {
   }
 }
 
+TEST(CellrelLint, DetectContainmentFixtureTree) {
+  const auto violations = lint_tree(kFixtures / "detect_containment");
+  // detect/ok.cpp (obs include + std::map iteration) must stay silent;
+  // detect/bad_clock.cpp trips the <chrono> confinement (plus the
+  // steady_clock identifier ban), detect/bad_order.cpp the ordered-export
+  // surface.
+  for (const auto& v : violations) {
+    EXPECT_NE(v.file, "detect/ok.cpp") << v.message;
+  }
+  EXPECT_EQ(count_rule(violations, "obs"), 1);
+  ASSERT_TRUE(has_rule(violations, "nondeterminism"));
+  EXPECT_EQ(count_rule(violations, "ordered-export"), 1);
+  const auto it = std::find_if(violations.begin(), violations.end(), [](const Violation& v) {
+    return v.rule == "ordered-export";
+  });
+  EXPECT_EQ(it->file, "detect/bad_order.cpp");
+}
+
 TEST(CellrelLint, ObsIncludeAllowlist) {
   const std::string source = "#include \"obs/metrics.h\"\n";
-  for (const char* module : {"obs", "radio", "telephony", "core", "workload", "analysis"}) {
+  for (const char* module :
+       {"obs", "radio", "telephony", "core", "detect", "workload", "analysis"}) {
     EXPECT_FALSE(has_rule(
         lint_source(source, module, std::string(module) + "/x.cpp", default_layers()),
         "obs"))

@@ -10,7 +10,9 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <span>
+#include <sstream>
 #include <string>
 
 #include "analysis/aggregate.h"
@@ -255,6 +257,49 @@ TEST_F(StreamingCampaignTest, FullReportAndMetricsByteIdentical) {
   EXPECT_NE(obs::metrics_to_json(streamed.metrics, with_process)
                 .find("process.dataplane.peak_batch_bytes"),
             std::string::npos);
+}
+
+TEST_F(StreamingCampaignTest, StreamOutExportMatchesMaterializedBytes) {
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "cellrel_stream_out_test";
+  std::filesystem::remove_all(base);
+  const std::filesystem::path mat_dir = base / "materialized";
+  const std::filesystem::path stream_dir = base / "streamed";
+
+  const CampaignResult materialized = Campaign(streaming_scenario(71, 1)).run();
+  write_dataset_csv(materialized.dataset, mat_dir);
+
+  Scenario sc = streaming_scenario(71, 4);
+  sc.stream = true;
+  sc.stream_out_dir = stream_dir.string();
+  const CampaignResult streamed = Campaign(sc).run();
+  ASSERT_NE(streamed.stream, nullptr);
+
+  // The shared tables are byte-identical to the materialized export.
+  auto slurp = [](const std::filesystem::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    EXPECT_TRUE(in.good()) << p;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  for (const char* name : {DatasetFiles::kRecords, DatasetFiles::kDevices,
+                           DatasetFiles::kBaseStations, DatasetFiles::kConnectedTime}) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(slurp(mat_dir / name), slurp(stream_dir / name));
+  }
+  // Transition/dwell samples collapsed into count tables at emission time:
+  // the streamed export carries the headers only.
+  EXPECT_EQ(slurp(stream_dir / DatasetFiles::kTransitions),
+            "device,from_rat,from_level,to_rat,to_level,failure\n");
+  EXPECT_EQ(slurp(stream_dir / DatasetFiles::kDwells), "device,rat,level,failure\n");
+
+  // The streamed directory round-trips through the reader.
+  const TraceDataset reloaded = read_dataset_csv(stream_dir);
+  EXPECT_EQ(reloaded.records.size(), materialized.dataset.records.size());
+  EXPECT_EQ(reloaded.devices.size(), materialized.dataset.devices.size());
+  EXPECT_TRUE(reloaded.transitions.empty());
+  std::filesystem::remove_all(base);
 }
 
 TEST_F(StreamingCampaignTest, StreamingBoundsResidentAggregationState) {

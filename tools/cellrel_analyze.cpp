@@ -3,7 +3,14 @@
 // Loads the CSVs written by `cellrel_campaign --out DIR` and prints the §3
 // analysis: headline statistics, device slices, ISP/BS landscape, error
 // codes, signal levels, and RAT transition matrices.
+//
+// --health replays the dataset's records through the online BS-health
+// tracker (src/detect) and prints the detector's verdicts. Offline datasets
+// carry no ground-truth annotations, so the report is unscored — flags
+// only, no precision/recall.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -12,16 +19,23 @@
 #include "analysis/full_report.h"
 #include "analysis/report.h"
 #include "cli.h"
+#include "detect/detector.h"
 
 using namespace cellrel;
 
 int main(int argc, char** argv) {
   bool figures = false;
+  bool health = false;
+  double health_window_s = 86'400.0;
   std::string report_path;
 
   cli::Parser parser("cellrel_analyze", "DATASET_DIR");
   parser.add_flag("--figures", "print CDF / transition-matrix figures",
                   [&figures] { figures = true; });
+  parser.add_flag("--health", "replay records through the BS-health detector",
+                  [&health] { health = true; });
+  parser.add_option("--health-window", "S", "detection window in simulated seconds",
+                    cli::double_value(&health_window_s));
   parser.add_option("--report", "OUT.md", "write the full §3 report to OUT.md",
                     cli::string_value(&report_path));
 
@@ -80,6 +94,26 @@ int main(int argc, char** argv) {
   std::printf("\n");
   const auto fit = agg.bs_zipf_fit();
   std::printf("BS Zipf fit: a=%.2f r2=%.2f\n", fit.a, fit.r_squared);
+
+  if (health) {
+    detect::HealthConfig hc;
+    hc.window_s = health_window_s;
+    // Horizon from the data: the last record's timestamp, rounded up to a
+    // whole number of windows (the exporter does not persist the campaign
+    // length).
+    double last_s = 0.0;
+    for (const TraceRecord& r : dataset.records) {
+      last_s = std::max(
+          last_s, static_cast<double>(r.at.since_origin().count_us()) / 1'000'000.0);
+    }
+    hc.horizon_s = std::max(1.0, std::ceil(last_s / hc.window_s)) * hc.window_s;
+    detect::HealthTracker tracker(hc);
+    for (const TraceRecord& r : dataset.records) tracker.on_record(r);
+    detect::SleepingCellDetector detector(hc);
+    const detect::HealthReport report = detector.analyze(tracker, {});
+    std::printf("\n");
+    std::fputs(detect::render_health_report(report, 10).c_str(), stdout);
+  }
 
   if (figures) {
     std::printf("\nduration CDF:\n%s", render_cdf(durations, default_cdf_quantiles()).c_str());

@@ -10,11 +10,20 @@
 //
 // --stream runs the memory-bounded streaming aggregation path: shards emit
 // columnar record batches that are folded into a StreamingAggregator at
-// merge time and the merged dataset never exists in memory (so --out is
-// unavailable); the printed report and --metrics-out file are bit-identical
-// to the default path. --spill-dir DIR additionally spills sealed batches
-// to per-shard CSV files under DIR, bounding batch residency to
-// O(shards x batch capacity).
+// merge time and the merged dataset never exists in memory; the printed
+// report and --metrics-out file are bit-identical to the default path.
+// --spill-dir DIR additionally spills sealed batches to per-shard CSV files
+// under DIR, bounding batch residency to O(shards x batch capacity).
+// --stream --out DIR streams the CSV export through the merge (records/
+// devices/base_stations/connected_time byte-identical to the materialized
+// export; transitions/dwells header-only).
+//
+// --detect runs the online sleeping-cell detector (src/detect): per-shard
+// BS-health trackers ride the monitors' record fan-out, merge in shard
+// order, and are scored against the injected ground truth. The verdict
+// prints as a "BS health" section, exports under the health.* metric
+// namespace, and --health-out FILE writes the full report as JSON
+// (byte-identical for every --threads value).
 
 #include <cstdio>
 #include <fstream>
@@ -24,6 +33,7 @@
 #include "analysis/csv_io.h"
 #include "analysis/report.h"
 #include "cli.h"
+#include "detect/detector.h"
 #include "obs/export.h"
 #include "workload/campaign.h"
 
@@ -79,6 +89,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string metrics_out;
   std::string metrics_csv;
+  std::string health_out;
   bool print_metrics = false;
   bool quiet = false;
 
@@ -114,6 +125,12 @@ int main(int argc, char** argv) {
   parser.add_option("--spill-dir", "DIR",
                     "spill sealed record batches to DIR (requires --stream)",
                     cli::string_value(&sc.spill_dir));
+  parser.add_flag("--detect", "online sleeping-cell detection (BS-health trackers)",
+                  [&sc] { sc.detect = true; });
+  parser.add_option("--detect-window", "S", "detection window in simulated seconds",
+                    cli::double_value(&sc.detect_window_s));
+  parser.add_option("--health-out", "FILE", "export the BS-health report as JSON",
+                    cli::string_value(&health_out));
   parser.add_option("--out", "DIR", "export the dataset as CSV into DIR",
                     cli::string_value(&out_dir));
   parser.add_option("--metrics-out", "FILE", "export campaign metrics as JSON",
@@ -137,15 +154,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --stream --out rides the streaming converter: the merge writes the CSV
+  // export while folding batches, so the dataset is never materialized.
+  if (sc.stream && !out_dir.empty()) {
+    sc.stream_out_dir = out_dir;
+    out_dir.clear();
+  }
+
   const std::vector<ScenarioError> errors = sc.validate();
   if (!errors.empty()) {
     std::fprintf(stderr, "invalid scenario:\n%s", format_errors(errors).c_str());
     return 2;
   }
-  if (sc.stream && !out_dir.empty()) {
-    std::fprintf(stderr,
-                 "error: --out needs the materialized dataset; it cannot be combined "
-                 "with --stream\n");
+  if (!health_out.empty() && !sc.detect) {
+    std::fprintf(stderr, "error: --health-out requires --detect\n");
     return 2;
   }
 
@@ -163,6 +185,9 @@ int main(int argc, char** argv) {
   Campaign campaign(sc);
   const CampaignResult result = campaign.run();
   if (!quiet) print_report(result);
+  if (!quiet && result.health) {
+    std::fputs(detect::render_health_report(*result.health, 10).c_str(), stdout);
+  }
   if (print_metrics) std::fputs(render_metrics(result.metrics).c_str(), stdout);
 
   if (!out_dir.empty()) {
@@ -172,6 +197,16 @@ int main(int argc, char** argv) {
                   out_dir.c_str(), result.dataset.records.size(),
                   result.dataset.devices.size(), result.dataset.base_stations.size());
     }
+  }
+  if (!sc.stream_out_dir.empty() && !quiet && result.stream) {
+    std::printf("dataset streamed to %s (%llu records, %zu devices, %zu BSes)\n",
+                sc.stream_out_dir.c_str(),
+                static_cast<unsigned long long>(result.stream->total_records()),
+                result.stream->devices().size(), result.stream->base_stations().size());
+  }
+  if (!health_out.empty() && result.health &&
+      !write_file(health_out, detect::health_report_to_json(*result.health))) {
+    return 1;
   }
   if (!metrics_out.empty() &&
       !write_file(metrics_out, obs::metrics_to_json(result.metrics))) {

@@ -3,8 +3,8 @@
 checked-in schema (docs/metrics.schema.json).
 
 Stdlib only: implements the small JSON-Schema subset the schema actually
-uses (type, properties, required, additionalProperties, items, minimum),
-so CI does not need a jsonschema package.
+uses (type, properties, patternProperties, required, additionalProperties,
+items, minimum, maximum), so CI does not need a jsonschema package.
 
 Usage: validate_metrics.py METRICS.json SCHEMA.json
 Exit status: 0 when the document validates, 1 with one line per finding
@@ -12,6 +12,7 @@ otherwise.
 """
 
 import json
+import re
 import sys
 
 
@@ -40,17 +41,25 @@ def validate(value, schema, path, errors):
     minimum = schema.get("minimum")
     if minimum is not None and isinstance(value, (int, float)) and value < minimum:
         errors.append(f"{path}: {value} is below minimum {minimum}")
+    maximum = schema.get("maximum")
+    if maximum is not None and isinstance(value, (int, float)) and value > maximum:
+        errors.append(f"{path}: {value} is above maximum {maximum}")
 
     if isinstance(value, dict):
         properties = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
         for key in schema.get("required", []):
             if key not in value:
                 errors.append(f"{path}: missing required key \"{key}\"")
         additional = schema.get("additionalProperties", True)
         for key, item in value.items():
             child_path = f"{path}.{key}" if path else key
+            matched = [s for pattern, s in patterns.items() if re.search(pattern, key)]
             if key in properties:
                 validate(item, properties[key], child_path, errors)
+            elif matched:
+                for pattern_schema in matched:
+                    validate(item, pattern_schema, child_path, errors)
             elif additional is False:
                 errors.append(f"{path}: unexpected key \"{key}\"")
             elif isinstance(additional, dict):
