@@ -18,7 +18,7 @@ int main() {
     series.labels.push_back("level " + std::to_string(l));
     series.values.push_back(norm[l]);
   }
-  std::fputs(render_series(series, true, 4).c_str(), stdout);
+  std::fputs(render_series(series, {.precision = 4}).c_str(), stdout);
 
   bool monotone = true;
   for (std::size_t l = 1; l <= 4; ++l) monotone &= norm[l] < norm[l - 1];

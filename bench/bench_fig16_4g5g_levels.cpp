@@ -18,7 +18,7 @@ int main() {
       series.labels.push_back("level " + std::to_string(l));
       series.values.push_back(norm[index_of(rat)][l]);
     }
-    std::fputs(render_series(series, true, 4).c_str(), stdout);
+    std::fputs(render_series(series, {.precision = 4}).c_str(), stdout);
     std::printf("\n");
   }
 

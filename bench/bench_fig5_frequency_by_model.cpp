@@ -22,7 +22,7 @@ int main() {
     paper.push_back(spec.paper_frequency);
     meas.push_back(f);
   }
-  std::fputs(render_series(measured, true, 1).c_str(), stdout);
+  std::fputs(render_series(measured, {.precision = 1}).c_str(), stdout);
   std::printf("\ncorrelation(paper, measured) = %.3f\n", pearson_correlation(paper, meas));
   return 0;
 }

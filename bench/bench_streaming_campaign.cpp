@@ -85,7 +85,7 @@ int main() {
              : static_cast<double>(mat.dataset.records.capacity() * sizeof(TraceRecord) +
                                    materialized.peak_batch_bytes) /
                    static_cast<double>(n);
-  const std::string mat_report = cellrel::render_full_report(mat.dataset);
+  const std::string mat_report = cellrel::render_full_report(cellrel::Aggregator(mat.dataset));
 
   // --- streaming (batches retained until merge) ----------------------------
   Scenario stream_sc = sc;

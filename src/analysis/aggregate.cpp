@@ -8,16 +8,6 @@
 
 namespace cellrel {
 
-double Aggregator::FilterScore::precision() const {
-  const auto denom = true_positives + false_positives;
-  return denom ? static_cast<double>(true_positives) / static_cast<double>(denom) : 0.0;
-}
-
-double Aggregator::FilterScore::recall() const {
-  const auto denom = true_positives + false_negatives;
-  return denom ? static_cast<double>(true_positives) / static_cast<double>(denom) : 0.0;
-}
-
 Aggregator::Aggregator(const TraceDataset& dataset) : data_(dataset) {}
 
 namespace {

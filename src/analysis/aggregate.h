@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/aggregator_view.h"
 #include "analysis/batch.h"
 #include "analysis/dataset.h"
 #include "common/stats.h"
@@ -18,121 +19,51 @@
 
 namespace cellrel {
 
-/// Prevalence & frequency for one device slice.
-/// Prevalence: fraction of slice devices with >= 1 kept failure.
-/// Frequency: mean number of kept failures among failing devices (matches
-/// Table 1, where per-model frequency exceeds zero even at 0.15% prevalence).
-struct PrevalenceFrequency {
-  std::uint64_t devices = 0;
-  std::uint64_t failing_devices = 0;
-  std::uint64_t failures = 0;
-  double prevalence() const {
-    return devices ? static_cast<double>(failing_devices) / static_cast<double>(devices) : 0.0;
-  }
-  double frequency() const {
-    return failing_devices ? static_cast<double>(failures) / static_cast<double>(failing_devices)
-                           : 0.0;
-  }
-};
-
-/// Per-failure-type breakdown of counts for one slice.
-struct TypeBreakdown {
-  std::array<std::uint64_t, kFailureTypeCount> counts{};
-  std::uint64_t total() const {
-    std::uint64_t t = 0;
-    for (auto c : counts) t += c;
-    return t;
-  }
-};
-
-class Aggregator {
+/// Materialized-dataset implementation of the AggregatorView query surface
+/// (see aggregator_view.h for the per-method documentation).
+class Aggregator : public AggregatorView {
  public:
   explicit Aggregator(const TraceDataset& dataset);
 
   // --- Device-slice prevalence & frequency ---
-  PrevalenceFrequency overall() const;
-  /// Keyed by model_id 1..34 (Table 1, Fig. 2, Fig. 5).
-  std::map<int, PrevalenceFrequency> by_model() const;
-  /// [0]: non-5G models, [1]: 5G models (Fig. 6/7). When
-  /// `android10_only` is set, restricts to Android 10 models (the paper's
-  /// fair-comparison footnote).
-  std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false) const;
-  /// [0]: Android 9, [1]: Android 10 (Fig. 8/9). When `exclude_5g` is set,
-  /// drops 5G models (fair comparison).
-  std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false) const;
-  /// Indexed by IspId (Fig. 12/13).
-  std::array<PrevalenceFrequency, kIspCount> by_isp() const;
+  PrevalenceFrequency overall() const override;
+  std::map<int, PrevalenceFrequency> by_model() const override;
+  std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false)
+      const override;
+  std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false) const override;
+  std::array<PrevalenceFrequency, kIspCount> by_isp() const override;
 
-  /// Mean kept-failure count per failure type over ALL devices (the
-  /// "16 setup / 14 stall / 3 OOS per phone" split of Fig. 3).
-  std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const;
-
-  /// Per-device kept-failure counts (the Fig. 3 CDF series), failing
-  /// devices only, per type and total.
-  struct PerDeviceCounts {
-    SampleSet total;
-    std::array<SampleSet, kFailureTypeCount> by_type;
-  };
-  PerDeviceCounts per_device_counts() const;
+  std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const override;
+  PerDeviceCounts per_device_counts() const override;
 
   // --- Durations (Fig. 4, Fig. 10, Fig. 21) ---
-  SampleSet durations_all() const;
-  SampleSet durations_of(FailureType type) const;
-  /// Share of total failure duration per type (Data_Stall ~ 94%).
-  std::array<double, kFailureTypeCount> duration_share_by_type() const;
+  SampleSet durations_all() const override;
+  SampleSet durations_of(FailureType type) const override;
+  std::array<double, kFailureTypeCount> duration_share_by_type() const override;
 
   // --- BS landscape (Fig. 11, Fig. 14) ---
-  ZipfFit bs_zipf_fit() const;
-  struct BsRankingStats {
-    std::uint64_t median = 0;
-    double mean = 0.0;
-    std::uint64_t max = 0;
-    std::uint64_t with_failures = 0;
-    std::uint64_t total = 0;
-  };
-  BsRankingStats bs_ranking_stats() const;
-  /// Fraction of RAT-r-capable BSes that experienced >= 1 failure (Fig. 14).
-  std::array<double, kRatCount> bs_prevalence_by_rat() const;
+  ZipfFit bs_zipf_fit() const override;
+  BsRankingStats bs_ranking_stats() const override;
+  std::array<double, kRatCount> bs_prevalence_by_rat() const override;
 
   // --- Signal levels (Fig. 15 / Fig. 16) ---
-  /// Normalized prevalence per level: (failing devices at level / devices)
-  /// divided by mean connected hours at that level (Fig. 15).
-  std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const;
-  /// Same, per (RAT in {4G, 5G}, level) (Fig. 16).
+  std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const override;
   std::array<std::array<double, kSignalLevelCount>, kRatCount>
-  normalized_prevalence_by_rat_level() const;
+  normalized_prevalence_by_rat_level() const override;
 
   // --- Error codes (Table 2) ---
-  struct ErrorCodeShare {
-    FailCause cause = FailCause::kUnknown;
-    std::uint64_t count = 0;
-    double percent = 0.0;  // of all kept Data_Setup_Error failures
-  };
-  std::vector<ErrorCodeShare> top_error_codes(std::size_t n = 10) const;
+  std::vector<ErrorCodeShare> top_error_codes(std::size_t n = 10) const override;
 
   // --- RAT transitions (Fig. 17) ---
-  /// Cell [from_level][to_level] = P(failure | transition from_rat level i ->
-  /// to_rat level j) - P(failure | dwell at from_rat level i).
-  using TransitionMatrix = std::array<std::array<double, kSignalLevelCount>, kSignalLevelCount>;
-  TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const;
+  TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const override;
 
   // --- Filter scoring (validation; uses ground truth) ---
-  struct FilterScore {
-    std::uint64_t true_positives = 0;   // FPs correctly filtered
-    std::uint64_t false_negatives = 0;  // FPs kept by mistake
-    std::uint64_t false_positives = 0;  // true failures wrongly filtered
-    std::uint64_t true_negatives = 0;   // true failures kept
-    double precision() const;
-    double recall() const;
-  };
-  FilterScore filter_score() const;
+  FilterScore filter_score() const override;
 
   // --- Whole-stream facts (report headers) ---
-  std::uint64_t total_records() const { return data_.records.size(); }
-  std::uint64_t filtered_records() const;
-  /// Whether any record carries a ground-truth false-positive label (an
-  /// imported backend dataset does not).
-  bool has_ground_truth() const;
+  std::uint64_t total_records() const override { return data_.records.size(); }
+  std::uint64_t filtered_records() const override;
+  bool has_ground_truth() const override;
 
  private:
   const TraceDataset& data_;
@@ -174,7 +105,7 @@ struct TransitionDwellCounts {
 /// over the same values, the integer tables are order-independent, and the
 /// derived divisions use the same operands. Verified by
 /// StreamingCampaignTest.
-class StreamingAggregator {
+class StreamingAggregator : public AggregatorView {
  public:
   StreamingAggregator() = default;
 
@@ -193,29 +124,32 @@ class StreamingAggregator {
   void set_base_stations(std::vector<BsMeta> base_stations);
 
   // --- Queries: mirror Aggregator exactly ---
-  PrevalenceFrequency overall() const;
-  std::map<int, PrevalenceFrequency> by_model() const;
-  std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false) const;
-  std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false) const;
-  std::array<PrevalenceFrequency, kIspCount> by_isp() const;
-  std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const;
-  Aggregator::PerDeviceCounts per_device_counts() const;
-  SampleSet durations_all() const { return durations_all_; }
-  SampleSet durations_of(FailureType type) const { return durations_by_type_[index_of(type)]; }
-  std::array<double, kFailureTypeCount> duration_share_by_type() const;
-  ZipfFit bs_zipf_fit() const;
-  Aggregator::BsRankingStats bs_ranking_stats() const;
-  std::array<double, kRatCount> bs_prevalence_by_rat() const;
-  std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const;
+  PrevalenceFrequency overall() const override;
+  std::map<int, PrevalenceFrequency> by_model() const override;
+  std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false)
+      const override;
+  std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false) const override;
+  std::array<PrevalenceFrequency, kIspCount> by_isp() const override;
+  std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const override;
+  PerDeviceCounts per_device_counts() const override;
+  SampleSet durations_all() const override { return durations_all_; }
+  SampleSet durations_of(FailureType type) const override {
+    return durations_by_type_[index_of(type)];
+  }
+  std::array<double, kFailureTypeCount> duration_share_by_type() const override;
+  ZipfFit bs_zipf_fit() const override;
+  BsRankingStats bs_ranking_stats() const override;
+  std::array<double, kRatCount> bs_prevalence_by_rat() const override;
+  std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const override;
   std::array<std::array<double, kSignalLevelCount>, kRatCount>
-  normalized_prevalence_by_rat_level() const;
-  std::vector<Aggregator::ErrorCodeShare> top_error_codes(std::size_t n = 10) const;
-  Aggregator::TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const;
-  Aggregator::FilterScore filter_score() const { return fscore_; }
+  normalized_prevalence_by_rat_level() const override;
+  std::vector<ErrorCodeShare> top_error_codes(std::size_t n = 10) const override;
+  TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const override;
+  FilterScore filter_score() const override { return fscore_; }
 
-  std::uint64_t total_records() const { return total_records_; }
-  std::uint64_t filtered_records() const { return filtered_records_; }
-  bool has_ground_truth() const { return has_ground_truth_; }
+  std::uint64_t total_records() const override { return total_records_; }
+  std::uint64_t filtered_records() const override { return filtered_records_; }
+  bool has_ground_truth() const override { return has_ground_truth_; }
 
   /// The fleet/BS metadata the aggregator retains (streaming mode leaves
   /// CampaignResult::dataset empty; these are the surviving copies).
@@ -247,7 +181,7 @@ class StreamingAggregator {
   std::array<std::array<std::unordered_set<DeviceId>, kSignalLevelCount>, kRatCount>
       failing_by_rat_level_;
   TransitionDwellCounts td_;
-  Aggregator::FilterScore fscore_;
+  FilterScore fscore_;
   std::uint64_t total_records_ = 0;
   std::uint64_t filtered_records_ = 0;
   bool has_ground_truth_ = false;

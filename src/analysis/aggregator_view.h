@@ -1,0 +1,167 @@
+// The unified query surface over an aggregated campaign.
+//
+// `Aggregator` (materialized TraceDataset) and `StreamingAggregator`
+// (incremental RecordBatch folding) answer the same ~20 §3 questions; this
+// interface is the single contract both implement, so report rendering
+// (`render_full_report`) and the query engine (`src/query`) are written once
+// against `AggregatorView` and never care which execution mode produced the
+// numbers. The bit-identity contract carries over verbatim: two views fed
+// the same campaign in the same record order answer every method below with
+// byte-identical results (see aggregate.h).
+
+#ifndef CELLREL_ANALYSIS_AGGREGATOR_VIEW_H
+#define CELLREL_ANALYSIS_AGGREGATOR_VIEW_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "bs/isp.h"
+#include "common/names.h"
+#include "common/stats.h"
+#include "common/zipf.h"
+#include "radio/fail_cause.h"
+#include "radio/signal.h"
+
+namespace cellrel {
+
+/// Prevalence & frequency for one device slice.
+/// Prevalence: fraction of slice devices with >= 1 kept failure.
+/// Frequency: mean number of kept failures among failing devices (matches
+/// Table 1, where per-model frequency exceeds zero even at 0.15% prevalence).
+struct PrevalenceFrequency {
+  std::uint64_t devices = 0;
+  std::uint64_t failing_devices = 0;
+  std::uint64_t failures = 0;
+  double prevalence() const {
+    return devices ? static_cast<double>(failing_devices) / static_cast<double>(devices) : 0.0;
+  }
+  double frequency() const {
+    return failing_devices ? static_cast<double>(failures) / static_cast<double>(failing_devices)
+                           : 0.0;
+  }
+};
+
+/// Per-failure-type breakdown of counts for one slice.
+struct TypeBreakdown {
+  std::array<std::uint64_t, kFailureTypeCount> counts{};
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto c : counts) t += c;
+    return t;
+  }
+};
+
+/// Abstract query surface shared by the materialized and streaming
+/// aggregators. Pure-virtual rather than a concept: the query engine and the
+/// report renderer take `const AggregatorView&` at runtime (CLI-selected
+/// execution mode), so static polymorphism would just push the dispatch up a
+/// level. Default arguments are repeated identically on every override —
+/// defaults bind statically, so base and derived must agree.
+class AggregatorView {
+ public:
+  virtual ~AggregatorView() = default;
+
+  /// Per-device kept-failure counts (the Fig. 3 CDF series), failing
+  /// devices only, per type and total.
+  struct PerDeviceCounts {
+    SampleSet total;
+    std::array<SampleSet, kFailureTypeCount> by_type;
+  };
+
+  struct BsRankingStats {
+    std::uint64_t median = 0;
+    double mean = 0.0;
+    std::uint64_t max = 0;
+    std::uint64_t with_failures = 0;
+    std::uint64_t total = 0;
+  };
+
+  struct ErrorCodeShare {
+    FailCause cause = FailCause::kUnknown;
+    std::uint64_t count = 0;
+    double percent = 0.0;  // of all kept Data_Setup_Error failures
+  };
+
+  /// Cell [from_level][to_level] = P(failure | transition from_rat level i ->
+  /// to_rat level j) - P(failure | dwell at from_rat level i).
+  using TransitionMatrix = std::array<std::array<double, kSignalLevelCount>, kSignalLevelCount>;
+
+  struct FilterScore {
+    std::uint64_t true_positives = 0;   // FPs correctly filtered
+    std::uint64_t false_negatives = 0;  // FPs kept by mistake
+    std::uint64_t false_positives = 0;  // true failures wrongly filtered
+    std::uint64_t true_negatives = 0;   // true failures kept
+    double precision() const {
+      const std::uint64_t flagged = true_positives + false_positives;
+      return flagged ? static_cast<double>(true_positives) / static_cast<double>(flagged) : 0.0;
+    }
+    double recall() const {
+      const std::uint64_t actual = true_positives + false_negatives;
+      return actual ? static_cast<double>(true_positives) / static_cast<double>(actual) : 0.0;
+    }
+  };
+
+  // --- Device-slice prevalence & frequency ---
+  virtual PrevalenceFrequency overall() const = 0;
+  /// Keyed by model_id 1..34 (Table 1, Fig. 2, Fig. 5).
+  virtual std::map<int, PrevalenceFrequency> by_model() const = 0;
+  /// [0]: non-5G models, [1]: 5G models (Fig. 6/7). When `android10_only` is
+  /// set, restricts to Android 10 models (the paper's fair-comparison
+  /// footnote).
+  virtual std::array<PrevalenceFrequency, 2> by_5g_capability(bool android10_only = false)
+      const = 0;
+  /// [0]: Android 9, [1]: Android 10 (Fig. 8/9). When `exclude_5g` is set,
+  /// drops 5G models (fair comparison).
+  virtual std::array<PrevalenceFrequency, 2> by_android_version(bool exclude_5g = false)
+      const = 0;
+  /// Indexed by IspId (Fig. 12/13).
+  virtual std::array<PrevalenceFrequency, kIspCount> by_isp() const = 0;
+
+  /// Mean kept-failure count per failure type over ALL devices (the
+  /// "16 setup / 14 stall / 3 OOS per phone" split of Fig. 3).
+  virtual std::array<double, kFailureTypeCount> mean_failures_per_device_by_type() const = 0;
+  virtual PerDeviceCounts per_device_counts() const = 0;
+
+  // --- Durations (Fig. 4, Fig. 10, Fig. 21) ---
+  virtual SampleSet durations_all() const = 0;
+  virtual SampleSet durations_of(FailureType type) const = 0;
+  /// Share of total failure duration per type (Data_Stall ~ 94%).
+  virtual std::array<double, kFailureTypeCount> duration_share_by_type() const = 0;
+
+  // --- BS landscape (Fig. 11, Fig. 14) ---
+  virtual ZipfFit bs_zipf_fit() const = 0;
+  virtual BsRankingStats bs_ranking_stats() const = 0;
+  /// Fraction of RAT-r-capable BSes that experienced >= 1 failure (Fig. 14).
+  virtual std::array<double, kRatCount> bs_prevalence_by_rat() const = 0;
+
+  // --- Signal levels (Fig. 15 / Fig. 16) ---
+  /// Normalized prevalence per level: (failing devices at level / devices)
+  /// divided by mean connected hours at that level (Fig. 15).
+  virtual std::array<double, kSignalLevelCount> normalized_prevalence_by_level() const = 0;
+  /// Same, per (RAT in {4G, 5G}, level) (Fig. 16).
+  virtual std::array<std::array<double, kSignalLevelCount>, kRatCount>
+  normalized_prevalence_by_rat_level() const = 0;
+
+  // --- Error codes (Table 2) ---
+  virtual std::vector<ErrorCodeShare> top_error_codes(std::size_t n = 10) const = 0;
+
+  // --- RAT transitions (Fig. 17) ---
+  virtual TransitionMatrix transition_increase(Rat from_rat, Rat to_rat) const = 0;
+
+  // --- Filter scoring (validation; uses ground truth) ---
+  virtual FilterScore filter_score() const = 0;
+
+  // --- Whole-stream facts (report headers) ---
+  virtual std::uint64_t total_records() const = 0;
+  virtual std::uint64_t filtered_records() const = 0;
+  /// Whether any record carries a ground-truth false-positive label (an
+  /// imported backend dataset does not).
+  virtual bool has_ground_truth() const = 0;
+};
+
+}  // namespace cellrel
+
+#endif  // CELLREL_ANALYSIS_AGGREGATOR_VIEW_H

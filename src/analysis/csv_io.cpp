@@ -248,17 +248,19 @@ void for_each_row(std::ifstream& in, const std::filesystem::path& file,
 }  // namespace
 
 TraceDataset read_dataset_csv(const std::filesystem::path& dir) {
-  TraceDataset data;
+  TraceDataset data = read_dataset_sidecars_csv(dir);
+  const auto file = dir / DatasetFiles::kRecords;
+  auto in = open_in(file);
+  for_each_row(in, file, [&](std::string_view line, int n) {
+    auto record = trace_record_from_csv(line);
+    if (!record) malformed(file, n);
+    data.records.push_back(std::move(*record));
+  });
+  return data;
+}
 
-  {
-    const auto file = dir / DatasetFiles::kRecords;
-    auto in = open_in(file);
-    for_each_row(in, file, [&](std::string_view line, int n) {
-      auto record = trace_record_from_csv(line);
-      if (!record) malformed(file, n);
-      data.records.push_back(std::move(*record));
-    });
-  }
+TraceDataset read_dataset_sidecars_csv(const std::filesystem::path& dir) {
+  TraceDataset data;
   {
     const auto file = dir / DatasetFiles::kDevices;
     auto in = open_in(file);

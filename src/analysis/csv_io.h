@@ -44,6 +44,12 @@ void write_dataset_csv(const TraceDataset& dataset, const std::filesystem::path&
 /// std::runtime_error on missing files or malformed rows.
 TraceDataset read_dataset_csv(const std::filesystem::path& dir);
 
+/// Reads every table EXCEPT records.csv (devices, base stations, connected
+/// time, transitions, dwells). Spill-directory queries use this: the spill
+/// files hold the lossless record rows while the device/BS sidecars come
+/// from a dataset directory. Throws like read_dataset_csv.
+TraceDataset read_dataset_sidecars_csv(const std::filesystem::path& dir);
+
 // --- parsing helpers (exposed for tests) ---
 std::optional<FailureType> failure_type_from_string(std::string_view s);
 std::optional<IspId> isp_from_string(std::string_view s);

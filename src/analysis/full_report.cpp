@@ -16,13 +16,9 @@ void append_f(std::string& out, const char* fmt, auto... args) {
   out += buf;
 }
 
-/// Renders the report over any aggregation surface exposing the Aggregator
-/// query set (the materialized Aggregator or the StreamingAggregator; see
-/// aggregate.h). Every statistic is pulled through the aggregator — never
-/// from the raw dataset — so the streaming and materialized renditions are
-/// byte-identical whenever the aggregators agree.
-template <typename Agg>
-std::string render_report_impl(const Agg& agg, const FullReportOptions& options) {
+}  // namespace
+
+std::string render_full_report(const AggregatorView& agg, const FullReportOptions& options) {
   std::string out;
   out += "# " + options.title + "\n\n";
 
@@ -147,19 +143,6 @@ std::string render_report_impl(const Agg& agg, const FullReportOptions& options)
     out += "```\n";
   }
   return out;
-}
-
-}  // namespace
-
-std::string render_full_report(const TraceDataset& dataset,
-                               const FullReportOptions& options) {
-  const Aggregator agg(dataset);
-  return render_report_impl(agg, options);
-}
-
-std::string render_full_report(const StreamingAggregator& agg,
-                               const FullReportOptions& options) {
-  return render_report_impl(agg, options);
 }
 
 }  // namespace cellrel

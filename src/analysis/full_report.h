@@ -7,11 +7,10 @@
 
 #include <string>
 
+#include "analysis/aggregator_view.h"
 #include "analysis/dataset.h"
 
 namespace cellrel {
-
-class StreamingAggregator;
 
 struct FullReportOptions {
   std::string title = "Cellular reliability campaign report";
@@ -21,15 +20,13 @@ struct FullReportOptions {
   bool include_model_table = true;
 };
 
-/// Renders the complete markdown report.
-std::string render_full_report(const TraceDataset& dataset,
-                               const FullReportOptions& options = {});
-
-/// Streaming-campaign overload: renders the same report from a
-/// StreamingAggregator (byte-identical to the dataset overload when the
-/// aggregator was fed the same campaign — see aggregate.h's bit-identity
-/// contract).
-std::string render_full_report(const StreamingAggregator& agg,
+/// Renders the complete markdown report over any aggregation surface. Every
+/// statistic is pulled through the view — never from a raw dataset — so the
+/// materialized and streaming renditions are byte-identical whenever the
+/// aggregators agree (see aggregate.h's bit-identity contract). This is the
+/// single entry point: callers holding a TraceDataset wrap it in an
+/// `Aggregator` first.
+std::string render_full_report(const AggregatorView& agg,
                                const FullReportOptions& options = {});
 
 }  // namespace cellrel

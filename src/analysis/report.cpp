@@ -7,7 +7,7 @@
 
 namespace cellrel {
 
-std::string render_series(const Series& series, bool bars, int precision) {
+std::string render_series(const Series& series, const RenderOptions& options) {
   std::string out;
   out += "# " + series.name + "\n";
   if (series.values.empty()) {
@@ -21,11 +21,11 @@ std::string render_series(const Series& series, bool bars, int precision) {
   for (std::size_t i = 0; i < series.values.size(); ++i) {
     const std::string label = i < series.labels.size() ? series.labels[i] : "";
     char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, series.values[i]);
+    std::snprintf(buf, sizeof(buf), "%.*f", options.precision, series.values[i]);
     out += "  " + label;
     out.append(label_width - label.size() + 2, ' ');
     out += buf;
-    if (bars && peak > 0.0) {
+    if (options.bars && peak > 0.0) {
       const auto width =
           static_cast<std::size_t>(std::fabs(series.values[i]) / peak * 40.0);
       out += "  ";
@@ -42,7 +42,8 @@ std::span<const double> default_cdf_quantiles() {
   return kQuantiles;
 }
 
-std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles) {
+std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles,
+                       const RenderOptions& options) {
   std::string out;
   if (samples.size() == 0) {
     out += "  (no samples)\n";
@@ -50,15 +51,17 @@ std::string render_cdf(const SampleSet& samples, std::span<const double> probe_q
   }
   char buf[96];
   for (double q : probe_quantiles) {
-    std::snprintf(buf, sizeof(buf), "  p%05.1f  %12.2f\n", q * 100.0, samples.quantile(q));
+    std::snprintf(buf, sizeof(buf), "  p%05.1f  %12.*f\n", q * 100.0, options.precision,
+                  samples.quantile(q));
     out += buf;
   }
-  std::snprintf(buf, sizeof(buf), "  mean    %12.2f   n=%zu\n", samples.mean(), samples.size());
+  std::snprintf(buf, sizeof(buf), "  mean    %12.*f   n=%zu\n", options.precision,
+                samples.mean(), samples.size());
   out += buf;
   return out;
 }
 
-std::string render_transition_matrix(const Aggregator::TransitionMatrix& m,
+std::string render_transition_matrix(const AggregatorView::TransitionMatrix& m,
                                      std::string_view title) {
   std::string out;
   out += "# ";

@@ -8,7 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/aggregate.h"
+#include "analysis/aggregator_view.h"
 #include "common/table.h"
 #include "obs/metrics.h"
 
@@ -21,19 +21,31 @@ struct Series {
   std::vector<double> values;
 };
 
+/// Shared formatting knob for the figure renderers (one struct instead of
+/// trailing defaulted parameters, so query presets carry a single option).
+struct RenderOptions {
+  /// Fractional digits of the value column.
+  int precision = 3;
+  /// Append 40-char '#' bars scaled to the series peak (ignored by
+  /// render_cdf, which has no bar column).
+  bool bars = true;
+};
+
 /// "label: value" lines with aligned columns and optional bars. An empty
 /// series renders a single "(no samples)" line under its title.
-std::string render_series(const Series& series, bool bars = true, int precision = 3);
+std::string render_series(const Series& series, const RenderOptions& options = {});
 
 /// Empirical CDF as "value  cumulative%" lines at the given probe points.
-/// An empty sample set renders a single "(no samples)" line.
-std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles);
+/// An empty sample set renders a single "(no samples)" line. The historical
+/// (and default) value precision here is 2, not RenderOptions' 3.
+std::string render_cdf(const SampleSet& samples, std::span<const double> probe_quantiles,
+                       const RenderOptions& options = {.precision = 2});
 
 /// Default quantile probes used across duration/count CDFs.
 std::span<const double> default_cdf_quantiles();
 
 /// A 6x6 transition heatmap (Fig. 17 panels) with a coarse shade ramp.
-std::string render_transition_matrix(const Aggregator::TransitionMatrix& m,
+std::string render_transition_matrix(const AggregatorView::TransitionMatrix& m,
                                      std::string_view title);
 
 /// Side-by-side paper-vs-measured comparison row helper.

@@ -4,21 +4,12 @@
 
 namespace cellrel::obs {
 
-namespace {
-
-/// Shortest round-trip decimal form: %.17g is bit-faithful for doubles and
-/// produces the same bytes for the same bit pattern on every run.
 std::string fmt_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 
-std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
-std::string fmt_i64(std::int64_t v) { return std::to_string(v); }
-
-/// Metric names are dotted identifiers, but escape defensively so the
-/// output is always valid JSON.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -40,6 +31,11 @@ std::string json_escape(const std::string& s) {
   }
   return out;
 }
+
+namespace {
+
+std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
+std::string fmt_i64(std::int64_t v) { return std::to_string(v); }
 
 /// Emits `  "key": { members... }` object sections with comma handling.
 class JsonWriter {

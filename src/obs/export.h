@@ -45,6 +45,15 @@ std::string metrics_to_json(const MetricRegistry& registry, ExportOptions option
 /// (kind, name, field) order.
 std::string metrics_to_csv(const MetricRegistry& registry, ExportOptions options = {});
 
+/// Shortest round-trip decimal form: %.17g is bit-faithful for doubles and
+/// produces the same bytes for the same bit pattern on every run. The shared
+/// number formatter of every deterministic JSON export surface (metrics,
+/// query results).
+std::string fmt_double(double v);
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(const std::string& s);
+
 }  // namespace cellrel::obs
 
 #endif  // CELLREL_OBS_EXPORT_H

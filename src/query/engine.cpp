@@ -1,0 +1,316 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "analysis/csv_io.h"
+#include "analysis/report.h"
+#include "analysis/string_pool.h"
+#include "device/phone_model.h"
+
+namespace cellrel::query {
+
+double canonical_seconds(double s) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", s);
+  return std::strtod(buf, nullptr);
+}
+
+namespace {
+
+std::string group_key(GroupBy group, std::int64_t id) {
+  switch (group) {
+    case GroupBy::kNone: return "all";
+    case GroupBy::kModel: return "model " + std::to_string(id);
+    case GroupBy::kIsp: return std::string(to_string(static_cast<IspId>(id)));
+    case GroupBy::kRat: return std::string(to_string(static_cast<Rat>(id)));
+    case GroupBy::kLevel: return "L" + std::to_string(id);
+    case GroupBy::kBs: return "bs " + std::to_string(id);
+    case GroupBy::kType: return std::string(to_string(static_cast<FailureType>(id)));
+    case GroupBy::kCause: return std::string(to_string(static_cast<FailCause>(id)));
+  }
+  return "?";
+}
+
+/// The fixed (fleet-independent) group domain of a key, or empty when the
+/// domain is observation-defined (bs, cause) or device-defined handled by
+/// the caller.
+std::vector<std::int64_t> enum_domain(GroupBy group) {
+  std::vector<std::int64_t> out;
+  switch (group) {
+    case GroupBy::kNone: out.push_back(0); break;
+    case GroupBy::kModel:
+      for (const auto& spec : phone_models()) out.push_back(spec.model_id);
+      break;
+    case GroupBy::kIsp:
+      for (std::size_t i = 0; i < kIspCount; ++i) out.push_back(static_cast<std::int64_t>(i));
+      break;
+    case GroupBy::kRat:
+      for (std::size_t i = 0; i < kRatCount; ++i) out.push_back(static_cast<std::int64_t>(i));
+      break;
+    case GroupBy::kLevel:
+      for (std::size_t i = 0; i < kSignalLevelCount; ++i) {
+        out.push_back(static_cast<std::int64_t>(i));
+      }
+      break;
+    case GroupBy::kType:
+      for (std::size_t i = 0; i < kFailureTypeCount; ++i) {
+        out.push_back(static_cast<std::int64_t>(i));
+      }
+      break;
+    case GroupBy::kBs:
+    case GroupBy::kCause:
+      break;  // observation-defined
+  }
+  return out;
+}
+
+bool device_keyed(GroupBy group) {
+  return group == GroupBy::kModel || group == GroupBy::kIsp;
+}
+
+}  // namespace
+
+void QueryExecutor::add_devices(std::span<const DeviceMeta> devices) {
+  for (const DeviceMeta& d : devices) devices_.emplace(d.id, d);
+}
+
+void QueryExecutor::consume(const RecordBatch& batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const RecordBatch::RowView row = batch.row(i);
+    if (row.filtered_false_positive) continue;
+    RowFacts facts;
+    facts.at_s = canonical_seconds(static_cast<double>(row.at_us) / 1e6);
+    facts.duration_s = canonical_seconds(static_cast<double>(row.duration_us) / 1e6);
+    facts.type = row.type;
+    facts.rat = row.rat;
+    facts.level = row.level;
+    facts.bs = row.bs;
+    facts.cause = row.cause;
+    ingest(row.device, facts);
+  }
+}
+
+void QueryExecutor::add_record(const TraceRecord& record) {
+  if (record.filtered_false_positive) return;
+  RowFacts facts;
+  facts.at_s = canonical_seconds(record.at.to_seconds());
+  facts.duration_s = canonical_seconds(record.duration.to_seconds());
+  facts.type = record.type;
+  facts.rat = record.rat;
+  facts.level = record.level;
+  facts.bs = record.bs;
+  facts.cause = record.cause;
+  ingest(record.device, facts);
+}
+
+void QueryExecutor::add_counts(const TransitionDwellCounts& counts) { td_.merge(counts); }
+
+void QueryExecutor::add_transition_samples(std::span<const TransitionRecord> transitions,
+                                           std::span<const DwellRecord> dwells) {
+  for (const DwellRecord& d : dwells) td_.add(d);
+  for (const TransitionRecord& t : transitions) td_.add(t);
+}
+
+bool QueryExecutor::device_passes(const DeviceMeta& device) const {
+  const QueryFilter& f = spec_.filter;
+  if (f.model_id && device.model_id != *f.model_id) return false;
+  if (f.isp && device.isp != *f.isp) return false;
+  return true;
+}
+
+bool QueryExecutor::record_passes(const RowFacts& facts) const {
+  const QueryFilter& f = spec_.filter;
+  if (f.rat && facts.rat != *f.rat) return false;
+  if (f.level && facts.level != *f.level) return false;
+  if (f.bs && facts.bs != *f.bs) return false;
+  if (f.type && facts.type != *f.type) return false;
+  if (f.since_s && facts.at_s < *f.since_s) return false;
+  if (f.until_s && facts.at_s >= *f.until_s) return false;
+  return true;
+}
+
+std::int64_t QueryExecutor::group_id(const DeviceMeta& device, const RowFacts& facts) const {
+  switch (spec_.group) {
+    case GroupBy::kNone: return 0;
+    case GroupBy::kModel: return device.model_id;
+    case GroupBy::kIsp: return static_cast<std::int64_t>(index_of(device.isp));
+    case GroupBy::kRat: return static_cast<std::int64_t>(index_of(facts.rat));
+    case GroupBy::kLevel: return static_cast<std::int64_t>(index_of(facts.level));
+    case GroupBy::kBs: return static_cast<std::int64_t>(facts.bs);
+    case GroupBy::kType: return static_cast<std::int64_t>(index_of(facts.type));
+    case GroupBy::kCause: return static_cast<std::int64_t>(facts.cause);
+  }
+  return 0;
+}
+
+void QueryExecutor::ingest(DeviceId device, const RowFacts& facts) {
+  if (spec_.agg == AggKind::kTransition) return;  // fed by count tables only
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return;  // no metadata (foreign record): skip
+  const DeviceMeta& meta = it->second;
+  if (!device_passes(meta) || !record_passes(facts)) return;
+  const std::int64_t gid = group_id(meta, facts);
+  switch (spec_.agg) {
+    case AggKind::kPrevalenceFrequency: ++pf_counts_[gid][device]; break;
+    case AggKind::kTypeBreakdown: ++breakdown_[gid][index_of(facts.type)]; break;
+    case AggKind::kCdf: cdf_[gid].add(facts.duration_s); break;
+    case AggKind::kTopK:
+      ++top_counts_[gid];
+      ++top_total_;
+      break;
+    case AggKind::kTransition: break;
+  }
+}
+
+QueryResult QueryExecutor::result() const {
+  QueryResult out;
+  out.spec = spec_;
+  switch (spec_.agg) {
+    case AggKind::kPrevalenceFrequency: {
+      // Group domain: fixed enum/model domain where one exists (so a fleet
+      // without 5G devices still reports every model row), observed groups
+      // for bs/cause.
+      std::vector<std::int64_t> domain = enum_domain(spec_.group);
+      if (domain.empty()) {
+        for (const auto& [gid, per_device] : pf_counts_) domain.push_back(gid);
+      }
+      // Prevalence denominators. Device-keyed groups count eligible devices
+      // per group value; record-keyed groups share one denominator (every
+      // eligible device could have produced a matching record).
+      std::map<std::int64_t, std::uint64_t> device_counts;
+      std::uint64_t eligible = 0;
+      for (const auto& [id, meta] : devices_) {
+        if (!device_passes(meta)) continue;
+        ++eligible;
+        if (spec_.group == GroupBy::kModel) {
+          ++device_counts[meta.model_id];
+        } else if (spec_.group == GroupBy::kIsp) {
+          ++device_counts[static_cast<std::int64_t>(index_of(meta.isp))];
+        }
+      }
+      for (std::int64_t gid : domain) {
+        QueryResult::PfRow row;
+        row.id = gid;
+        row.key = group_key(spec_.group, gid);
+        if (device_keyed(spec_.group)) {
+          const auto dit = device_counts.find(gid);
+          row.devices = dit != device_counts.end() ? dit->second : 0;
+        } else {
+          row.devices = eligible;
+        }
+        const auto git = pf_counts_.find(gid);
+        if (git != pf_counts_.end()) {
+          row.failing_devices = git->second.size();
+          for (const auto& [dev, n] : git->second) row.failures += n;
+        }
+        // Same division, same operands as PrevalenceFrequency::prevalence()
+        // / frequency() — query pf values exactly equal the legacy ones.
+        PrevalenceFrequency pf{row.devices, row.failing_devices, row.failures};
+        row.prevalence = pf.prevalence();
+        row.frequency = pf.frequency();
+        out.pf.push_back(std::move(row));
+      }
+      break;
+    }
+    case AggKind::kTypeBreakdown: {
+      for (const auto& [gid, counts] : breakdown_) {
+        QueryResult::BreakdownRow row;
+        row.id = gid;
+        row.key = group_key(spec_.group, gid);
+        row.counts = counts;
+        for (std::uint64_t c : counts) row.total += c;
+        out.breakdown.push_back(std::move(row));
+      }
+      break;
+    }
+    case AggKind::kCdf: {
+      for (const auto& [gid, samples] : cdf_) {
+        QueryResult::CdfRow row;
+        row.id = gid;
+        row.key = group_key(spec_.group, gid);
+        row.samples = samples;
+        for (double q : default_cdf_quantiles()) {
+          row.quantiles.emplace_back(q, samples.quantile(q));
+        }
+        out.cdf.push_back(std::move(row));
+      }
+      break;
+    }
+    case AggKind::kTopK: {
+      for (const auto& [gid, count] : top_counts_) {
+        QueryResult::TopRow row;
+        row.id = gid;
+        row.key = group_key(spec_.group, gid);
+        row.count = count;
+        row.percent = top_total_
+                          ? 100.0 * static_cast<double>(count) / static_cast<double>(top_total_)
+                          : 0.0;
+        out.top.push_back(std::move(row));
+      }
+      // Rank: count descending, id ascending — the top_error_codes tiebreak.
+      std::sort(out.top.begin(), out.top.end(),
+                [](const QueryResult::TopRow& a, const QueryResult::TopRow& b) {
+                  if (a.count != b.count) return a.count > b.count;
+                  return a.id < b.id;
+                });
+      if (out.top.size() > spec_.top_k) out.top.resize(spec_.top_k);
+      break;
+    }
+    case AggKind::kTransition: {
+      // Identical arithmetic to {Streaming}Aggregator::transition_increase.
+      const auto& dwell_total = td_.dwell_total[index_of(spec_.from_rat)];
+      const auto& dwell_fail = td_.dwell_fail[index_of(spec_.from_rat)];
+      const auto& trans_total =
+          td_.transition_total[index_of(spec_.from_rat)][index_of(spec_.to_rat)];
+      const auto& trans_fail =
+          td_.transition_fail[index_of(spec_.from_rat)][index_of(spec_.to_rat)];
+      for (std::size_t i = 0; i < kSignalLevelCount; ++i) {
+        const double baseline = dwell_total[i] ? static_cast<double>(dwell_fail[i]) /
+                                                     static_cast<double>(dwell_total[i])
+                                               : 0.0;
+        for (std::size_t j = 0; j < kSignalLevelCount; ++j) {
+          if (trans_total[i][j] == 0) {
+            out.matrix[i][j] = 0.0;
+            continue;
+          }
+          const double rate =
+              static_cast<double>(trans_fail[i][j]) / static_cast<double>(trans_total[i][j]);
+          out.matrix[i][j] = rate - baseline;
+        }
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+QueryResult execute_over_dataset(const TraceDataset& dataset, const QuerySpec& spec) {
+  QueryExecutor executor(spec);
+  executor.add_devices(dataset.devices);
+  for (const TraceRecord& r : dataset.records) executor.add_record(r);
+  executor.add_transition_samples(dataset.transitions, dataset.dwells);
+  return executor.result();
+}
+
+QueryResult execute_over_spill(const std::filesystem::path& spill_dir,
+                               const TraceDataset& sidecars, const QuerySpec& spec) {
+  QueryExecutor executor(spec);
+  executor.add_devices(sidecars.devices);
+  StringPool apns;
+  std::size_t shard = 0;
+  while (std::filesystem::exists(spill_dir / spill_shard_file(shard))) {
+    read_spill_batches(spill_dir / spill_shard_file(shard), 4096, apns,
+                       [&](const RecordBatch& batch) { executor.consume(batch); });
+    ++shard;
+  }
+  if (shard == 0) {
+    throw std::runtime_error("query: no spill shards under " + spill_dir.string());
+  }
+  executor.add_transition_samples(sidecars.transitions, sidecars.dwells);
+  return executor.result();
+}
+
+}  // namespace cellrel::query

@@ -1,0 +1,163 @@
+// The query engine: compiles a QuerySpec into an accumulator and runs it
+// over any of the campaign's record sources.
+//
+// QueryExecutor mirrors the StreamingAggregator ingestion surface
+// (add_devices / consume(RecordBatch) / add_record(TraceRecord) /
+// add_counts / add_transition_samples), so ONE engine serves all four
+// sources: the materialized in-memory dataset, a dataset directory's CSVs,
+// the per-shard spill CSVs, and the live batch stream of a streaming
+// campaign merge.
+//
+// Bit-identity contract (the PR 2/3/5 determinism contract, extended to
+// query results): records are ingested in sequential record order on every
+// path (shard-index order == file order == dataset order), every
+// floating-point accumulation therefore runs over the same operands in the
+// same order, and every timestamp/duration is quantized through
+// canonical_seconds() — the %.3f grid records.csv already rounds to — so
+// the four sources produce byte-identical JSON/CSV for every thread count.
+
+#ifndef CELLREL_QUERY_ENGINE_H
+#define CELLREL_QUERY_ENGINE_H
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "analysis/batch.h"
+#include "analysis/dataset.h"
+#include "common/stats.h"
+#include "core/trace.h"
+#include "query/spec.h"
+
+namespace cellrel::query {
+
+/// Quantizes a timestamp/duration onto the %.3f-seconds grid used by
+/// records.csv (snprintf round-trip, so re-quantizing is idempotent and the
+/// <=1 microsecond truncation of SimDuration::seconds() is absorbed). Every
+/// ingestion path applies this to every time value, which is what makes CDF
+/// samples and time-window predicates agree across lossless (spill, batch,
+/// in-memory) and %.3f-rounded (records.csv) sources.
+double canonical_seconds(double s);
+
+/// One executed query. Exactly one of the row vectors (or the matrix) is
+/// populated, per spec.agg. Rows are ordered by ascending group id (top-k:
+/// by count descending, id ascending) and carry no execution-source
+/// information — the byte-identity contract covers the whole result.
+struct QueryResult {
+  QuerySpec spec;
+
+  struct PfRow {
+    std::int64_t id = 0;
+    std::string key;
+    std::uint64_t devices = 0;
+    std::uint64_t failing_devices = 0;
+    std::uint64_t failures = 0;
+    double prevalence = 0.0;
+    double frequency = 0.0;
+  };
+  struct BreakdownRow {
+    std::int64_t id = 0;
+    std::string key;
+    std::array<std::uint64_t, kFailureTypeCount> counts{};
+    std::uint64_t total = 0;
+  };
+  struct CdfRow {
+    std::int64_t id = 0;
+    std::string key;
+    SampleSet samples;  // canonical seconds (text rendering re-runs render_cdf)
+    std::vector<std::pair<double, double>> quantiles;  // (q, value)
+  };
+  struct TopRow {
+    std::int64_t id = 0;
+    std::string key;
+    std::uint64_t count = 0;
+    double percent = 0.0;
+  };
+
+  std::vector<PfRow> pf;
+  std::vector<BreakdownRow> breakdown;
+  std::vector<CdfRow> cdf;
+  std::vector<TopRow> top;
+  AggregatorView::TransitionMatrix matrix{};
+};
+
+/// Accumulates one query over a record stream. Ingestion order must be the
+/// sequential record order (the campaign merge order); see the contract
+/// above.
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(QuerySpec spec) : spec_(std::move(spec)) {}
+
+  // --- Ingestion ---
+  /// Device metadata (whole table, or one shard at a time in shard order).
+  void add_devices(std::span<const DeviceMeta> devices);
+  /// One columnar batch, in emission order.
+  void consume(const RecordBatch& batch);
+  /// One materialized record. Filtered records are skipped internally (the
+  /// query surface, like the aggregators, sees kept failures only).
+  void add_record(const TraceRecord& record);
+  /// Order-independent transition/dwell count tables (streaming shards).
+  void add_counts(const TransitionDwellCounts& counts);
+  /// Per-sample transition/dwell rows (materialized datasets); folded into
+  /// the same count tables, so both feeds produce identical matrices.
+  void add_transition_samples(std::span<const TransitionRecord> transitions,
+                              std::span<const DwellRecord> dwells);
+
+  // --- Finalize ---
+  QueryResult result() const;
+
+  const QuerySpec& spec() const { return spec_; }
+
+ private:
+  struct RowFacts {
+    double at_s = 0.0;        // canonical seconds
+    double duration_s = 0.0;  // canonical seconds
+    FailureType type = FailureType::kDataSetupError;
+    Rat rat = Rat::k4G;
+    SignalLevel level = SignalLevel::kLevel0;
+    BsIndex bs = kInvalidBs;
+    FailCause cause = FailCause::kNone;
+  };
+
+  void ingest(DeviceId device, const RowFacts& facts);
+  bool device_passes(const DeviceMeta& device) const;
+  bool record_passes(const RowFacts& facts) const;
+  std::int64_t group_id(const DeviceMeta& device, const RowFacts& facts) const;
+
+  QuerySpec spec_;
+  /// Keyed device table: lookups during ingestion (model/isp are re-derived
+  /// from metadata on EVERY path — batch rows don't carry them), group
+  /// domains and prevalence denominators at finalize.
+  std::map<DeviceId, DeviceMeta> devices_;
+  /// Per-group per-device kept-failure counts (pf).
+  std::map<std::int64_t, std::map<DeviceId, std::uint64_t>> pf_counts_;
+  std::map<std::int64_t, std::array<std::uint64_t, kFailureTypeCount>> breakdown_;
+  std::map<std::int64_t, SampleSet> cdf_;
+  std::map<std::int64_t, std::uint64_t> top_counts_;
+  std::uint64_t top_total_ = 0;
+  TransitionDwellCounts td_;
+};
+
+/// Runs a query over a materialized dataset (in-memory or read back from a
+/// dataset directory): devices, then records in order, then the
+/// transition/dwell samples.
+QueryResult execute_over_dataset(const TraceDataset& dataset, const QuerySpec& spec);
+
+/// Runs a query over the per-shard spill CSVs under `spill_dir`
+/// (shard-0.csv, shard-1.csv, ... read in shard-index order — the sequential
+/// record order). `sidecars` supplies the device/BS/transition tables the
+/// spill files do not carry (read_dataset_sidecars_csv of the campaign's
+/// dataset directory). Throws std::runtime_error on missing shard-0 or
+/// malformed rows.
+QueryResult execute_over_spill(const std::filesystem::path& spill_dir,
+                               const TraceDataset& sidecars, const QuerySpec& spec);
+
+}  // namespace cellrel::query
+
+#endif  // CELLREL_QUERY_ENGINE_H

@@ -1,0 +1,32 @@
+// Deterministic rendering of query results.
+//
+// Text goes through the legacy figure renderers (render_series, render_cdf,
+// render_transition_matrix, TextTable), so a preset's text output is the
+// same bytes the old bench renderers produced from the same numbers. JSON
+// and CSV use the obs exporters' number formatting (%.17g doubles) and
+// carry no execution-source information — two sources that agree on the
+// numbers export identical bytes, which is what the query-contract CI job
+// `cmp`s.
+
+#ifndef CELLREL_QUERY_EXPORT_H
+#define CELLREL_QUERY_EXPORT_H
+
+#include <string>
+
+#include "query/engine.h"
+
+namespace cellrel::query {
+
+/// Figure-style text: a series (pf), a table (breakdown/topk), CDF blocks,
+/// or a transition heatmap, formatted per spec.render.
+std::string query_result_to_text(const QueryResult& result);
+
+/// {"name", "spec", "agg", "rows" | "matrix"} — see docs/query.schema.json.
+std::string query_result_to_json(const QueryResult& result);
+
+/// Flat CSV with an agg-specific header row.
+std::string query_result_to_csv(const QueryResult& result);
+
+}  // namespace cellrel::query
+
+#endif  // CELLREL_QUERY_EXPORT_H

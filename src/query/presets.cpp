@@ -1,0 +1,100 @@
+#include "query/presets.h"
+
+#include <array>
+
+namespace cellrel::query {
+
+namespace {
+
+constexpr std::array<PresetInfo, 9> kPresets = {{
+    {"fig2", "failure prevalence per phone model (Fig. 2)"},
+    {"fig3", "failure type mix: kept failures per type (Fig. 3)"},
+    {"fig4", "failure duration CDF, canonical seconds (Fig. 4)"},
+    {"fig5", "failure frequency per phone model (Fig. 5)"},
+    {"fig10", "Data_Stall duration CDF, canonical seconds (Fig. 10)"},
+    {"fig12", "failure prevalence per ISP (Fig. 12)"},
+    {"fig13", "failure frequency per ISP (Fig. 13)"},
+    {"fig17", "4G->5G transition failure-probability increase (Fig. 17)"},
+    {"table2", "top Data_Setup_Error causes by share (Table 2)"},
+}};
+
+}  // namespace
+
+std::span<const PresetInfo> preset_table() { return kPresets; }
+
+std::optional<QuerySpec> find_preset(std::string_view name) {
+  QuerySpec spec;
+  spec.name = std::string(name);
+  if (name == "fig2") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kModel;
+    spec.series = SeriesKind::kPrevalence;
+    return spec;
+  }
+  if (name == "fig3") {
+    spec.agg = AggKind::kTypeBreakdown;
+    spec.group = GroupBy::kNone;
+    return spec;
+  }
+  if (name == "fig4") {
+    spec.agg = AggKind::kCdf;
+    spec.group = GroupBy::kNone;
+    return spec;
+  }
+  if (name == "fig5") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kModel;
+    spec.series = SeriesKind::kFrequency;
+    spec.render.precision = 1;
+    return spec;
+  }
+  if (name == "fig10") {
+    spec.agg = AggKind::kCdf;
+    spec.group = GroupBy::kNone;
+    spec.filter.type = FailureType::kDataStall;
+    return spec;
+  }
+  if (name == "fig12") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kIsp;
+    spec.series = SeriesKind::kPrevalence;
+    return spec;
+  }
+  if (name == "fig13") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kIsp;
+    spec.series = SeriesKind::kFrequency;
+    spec.render.precision = 1;
+    return spec;
+  }
+  if (name == "fig17") {
+    spec.agg = AggKind::kTransition;
+    spec.from_rat = Rat::k4G;
+    spec.to_rat = Rat::k5G;
+    return spec;
+  }
+  if (name == "table2") {
+    spec.agg = AggKind::kTopK;
+    spec.group = GroupBy::kCause;
+    spec.filter.type = FailureType::kDataSetupError;
+    spec.top_k = 10;
+    return spec;
+  }
+  return std::nullopt;
+}
+
+std::string render_preset_list() {
+  std::string out;
+  for (const PresetInfo& info : kPresets) {
+    const auto spec = find_preset(info.name);
+    out += std::string(info.name);
+    out.append(info.name.size() < 8 ? 8 - info.name.size() : 1, ' ');
+    out += std::string(info.description);
+    if (spec) {
+      out += "\n        spec: " + to_string(*spec) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace cellrel::query

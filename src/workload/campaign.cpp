@@ -263,7 +263,8 @@ void publish_process_gauges(CampaignResult& result, const std::vector<ShardResul
 /// concatenation and floating-point sum is bit-identical to the threads=1
 /// run. Records are expanded from the columnar batches with an EXACT
 /// reserve taken from the batch manifest — no growth heuristics.
-CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult>&& shards) {
+CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult>&& shards,
+                                   std::span<const query::QuerySpec> queries) {
   CampaignResult result;
 
   std::size_t records = 0, transitions = 0, dwells = 0, devices = 0, episodes = 0;
@@ -312,6 +313,12 @@ CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult
       << "shard merge must preserve device-id order";
 
   result.dataset.base_stations = snapshot_base_stations(registry);
+  // Inline queries run over the merged dataset — same entry point as
+  // cellrel_query on an exported dataset dir, so results agree byte-for-byte.
+  result.query_results.reserve(queries.size());
+  for (const query::QuerySpec& spec : queries) {
+    result.query_results.push_back(query::execute_over_dataset(result.dataset, spec));
+  }
   publish_process_gauges(result, shards);
   return result;
 }
@@ -327,10 +334,19 @@ CampaignResult merge_shard_results(BsRegistry& registry, std::vector<ShardResult
 CampaignResult merge_shard_results_streaming(BsRegistry& registry,
                                              std::vector<ShardResult>&& shards,
                                              const std::filesystem::path& spill_dir,
-                                             const std::filesystem::path& stream_out_dir) {
+                                             const std::filesystem::path& stream_out_dir,
+                                             std::span<const query::QuerySpec> queries) {
   CampaignResult result;
   result.stream = std::make_unique<StreamingAggregator>();
   StreamingAggregator& agg = *result.stream;
+
+  // Inline queries ride the same single consumption pass as the aggregator:
+  // each executor sees the batches in shard-index order (= the materialized
+  // record order), so its results are byte-identical to execute_over_dataset
+  // on a materialized run of the same scenario.
+  std::vector<query::QueryExecutor> executors;
+  executors.reserve(queries.size());
+  for (const query::QuerySpec& spec : queries) executors.emplace_back(spec);
 
   // Streaming dataset export (--stream --out): each batch is expanded
   // row-by-row through the shard's MaterializeContext and appended to
@@ -347,6 +363,9 @@ CampaignResult merge_shard_results_streaming(BsRegistry& registry,
   std::size_t shard_index = 0;
   for (ShardResult& s : shards) {
     agg.add_devices(std::span<const DeviceMeta>(s.devices));
+    for (query::QueryExecutor& ex : executors) {
+      ex.add_devices(std::span<const DeviceMeta>(s.devices));
+    }
     MaterializeContext ctx;
     ctx.devices = std::span<const DeviceMeta>(s.devices);  // add_devices copied them
     ctx.resolve_cell = resolve_cell;
@@ -354,14 +373,17 @@ CampaignResult merge_shard_results_streaming(BsRegistry& registry,
       StringPool reload_apns;  // ids are shard-local; the aggregator ignores them
       ctx.apns = &reload_apns;
       read_spill_batches(spill_dir / spill_shard_file(shard_index), s.batch_capacity,
-                         reload_apns, [&agg, &export_csv, &ctx](const RecordBatch& b) {
+                         reload_apns,
+                         [&agg, &executors, &export_csv, &ctx](const RecordBatch& b) {
                            agg.consume(b);
+                           for (query::QueryExecutor& ex : executors) ex.consume(b);
                            if (export_csv) export_csv->append(b, ctx);
                          });
     } else {
       ctx.apns = &s.apns;
       for (RecordBatch& b : s.batches) {
         agg.consume(b);
+        for (query::QueryExecutor& ex : executors) ex.consume(b);
         if (export_csv) export_csv->append(b, ctx);
         b = RecordBatch{};  // free column buffers as we go
       }
@@ -369,6 +391,7 @@ CampaignResult merge_shard_results_streaming(BsRegistry& registry,
     }
     agg.add_connected_time(s.connected_time);
     agg.add_counts(s.td_counts);
+    for (query::QueryExecutor& ex : executors) ex.add_counts(s.td_counts);
     merge_shard_common(result, overhead, registry, s);
     ++shard_index;
   }
@@ -381,6 +404,10 @@ CampaignResult merge_shard_results_streaming(BsRegistry& registry,
       << "shard merge must preserve device-id order";
 
   agg.set_base_stations(snapshot_base_stations(registry));
+  result.query_results.reserve(executors.size());
+  for (const query::QueryExecutor& ex : executors) {
+    result.query_results.push_back(ex.result());
+  }
   if (export_csv) {
     export_csv->close();
     write_streaming_sidecars_csv(agg, stream_out_dir);
@@ -1164,8 +1191,10 @@ CampaignResult Campaign::run() {
     obs::PhaseSpan span(campaign_metrics, "merge");
     result = scenario_.stream
                  ? merge_shard_results_streaming(*registry_, std::move(shards), spill_dir,
-                                                 scenario_.stream_out_dir)
-                 : merge_shard_results(*registry_, std::move(shards));
+                                                 scenario_.stream_out_dir,
+                                                 scenario_.inline_queries)
+                 : merge_shard_results(*registry_, std::move(shards),
+                                       scenario_.inline_queries);
   }
   // Online detection verdict: score the merged tracker state against the
   // registry's ground truth (failure deltas were applied during the merge,

@@ -49,6 +49,7 @@
 #include "detect/detector.h"
 #include "device/device.h"
 #include "obs/metrics.h"
+#include "query/engine.h"
 #include "workload/scenario.h"
 
 namespace cellrel {
@@ -94,6 +95,12 @@ struct CampaignResult {
   /// folds, so the merge is order-independent.
   std::unique_ptr<detect::HealthTracker> health_state;
   std::unique_ptr<detect::HealthReport> health;
+  /// Inline query results (Scenario::inline_queries, same order). In
+  /// materialized mode the specs run over `dataset` after the merge; in
+  /// streaming mode executors consume the columnar shard batches during the
+  /// merge itself. Byte-identical JSON/CSV exports across both modes and
+  /// every `threads` value.
+  std::vector<query::QueryResult> query_results;
   std::uint64_t simulated_events = 0;
   std::uint64_t episodes_run = 0;
 };

@@ -9,6 +9,7 @@
 
 #include "bs/deployment.h"
 #include "common/names.h"
+#include "query/spec.h"
 #include "telephony/recovery.h"
 #include "workload/calibration.h"
 
@@ -57,6 +58,14 @@ struct Scenario {
   /// scenario; transitions/dwells are written header-only (streaming shards
   /// collapse those samples into count tables).
   std::string stream_out_dir;
+
+  /// Inline queries (src/query, DESIGN.md §12): each spec is evaluated
+  /// during the campaign merge — against the merged dataset in materialized
+  /// mode, or incrementally from the columnar shard batches in streaming
+  /// mode (including spill) without materializing records. Results land in
+  /// CampaignResult::query_results in this order, byte-identical across
+  /// modes and for every `threads` value.
+  std::vector<query::QuerySpec> inline_queries;
 
   /// Online sleeping-cell detection (src/detect, DESIGN.md §11): every shard
   /// runs a HealthTracker subscribed to its monitors' record fan-out;

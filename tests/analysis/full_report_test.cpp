@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/aggregate.h"
 #include "analysis/csv_io.h"
 #include "workload/campaign.h"
 
@@ -21,7 +22,7 @@ const TraceDataset& campaign_dataset() {
 }
 
 TEST(FullReport, ContainsAllSections) {
-  const std::string report = render_full_report(campaign_dataset());
+  const std::string report = render_full_report(Aggregator(campaign_dataset()));
   for (const char* needle :
        {"# Cellular reliability campaign report", "## General statistics",
         "## Android phone landscape", "## ISP and base-station landscape",
@@ -36,7 +37,7 @@ TEST(FullReport, OptionsControlVerbosity) {
   options.title = "custom title";
   options.include_transition_matrices = false;
   options.include_model_table = false;
-  const std::string report = render_full_report(campaign_dataset(), options);
+  const std::string report = render_full_report(Aggregator(campaign_dataset()), options);
   EXPECT_NE(report.find("# custom title"), std::string::npos);
   EXPECT_EQ(report.find("## RAT transition risk"), std::string::npos);
   EXPECT_EQ(report.find("| model |"), std::string::npos);
@@ -49,7 +50,7 @@ TEST(FullReport, ImportedDatasetOmitsFilterScore) {
   std::filesystem::remove_all(dir);
   write_dataset_csv(campaign_dataset(), dir);
   const TraceDataset imported = read_dataset_csv(dir);
-  const std::string report = render_full_report(imported);
+  const std::string report = render_full_report(Aggregator(imported));
   EXPECT_EQ(report.find("false-positive filter: precision"), std::string::npos);
   EXPECT_NE(report.find("records filtered as false positives"), std::string::npos);
   std::filesystem::remove_all(dir);
@@ -57,7 +58,7 @@ TEST(FullReport, ImportedDatasetOmitsFilterScore) {
 
 TEST(FullReport, EmptyDatasetDoesNotCrash) {
   TraceDataset empty;
-  const std::string report = render_full_report(empty);
+  const std::string report = render_full_report(Aggregator(empty));
   EXPECT_NE(report.find("devices: 0"), std::string::npos);
 }
 

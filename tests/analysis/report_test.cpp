@@ -23,7 +23,7 @@ TEST(RenderSeries, NonEmptySeriesRendersEveryRow) {
   s.name = "fig";
   s.labels = {"a", "bb"};
   s.values = {1.0, 2.0};
-  const std::string out = render_series(s, /*bars=*/false, /*precision=*/1);
+  const std::string out = render_series(s, {.precision = 1, .bars = false});
   EXPECT_NE(out.find("a"), std::string::npos);
   EXPECT_NE(out.find("bb"), std::string::npos);
   EXPECT_NE(out.find("1.0"), std::string::npos);

@@ -1,0 +1,19 @@
+// Seeded violation: the query module is part of the deterministic export
+// surface, so iterating an unordered container here must be flagged.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cellrel::query {
+
+std::vector<std::string> render_groups() {
+  std::unordered_map<std::string, int> groups;
+  groups.emplace("model 1", 3);
+  std::vector<std::string> rows;
+  for (const auto& kv : groups) {  // violation: unordered range-for
+    rows.push_back(kv.first);
+  }
+  return rows;
+}
+
+}  // namespace cellrel::query

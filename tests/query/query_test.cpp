@@ -1,0 +1,306 @@
+// Query engine contract tests.
+//
+// The core claim (DESIGN.md §12): one QuerySpec produces byte-identical
+// results from every record source — the materialized in-memory dataset, a
+// dataset directory's CSVs, per-shard spill CSVs, and the live batch stream
+// of a streaming campaign merge — across seeds and thread counts. JSON and
+// CSV exports are compared as whole strings, so every count, double, label
+// and row order is covered at once.
+//
+// The presets must also reproduce the legacy figure renderers: fig2/fig5
+// byte-equal to the render_series output the bench builds from
+// Aggregator::by_model, fig17 byte-equal to render_transition_matrix over
+// Aggregator::transition_increase, table2 value-equal to top_error_codes.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "analysis/csv_io.h"
+#include "analysis/report.h"
+#include "device/phone_model.h"
+#include "query/engine.h"
+#include "query/export.h"
+#include "query/presets.h"
+#include "query/spec.h"
+#include "workload/campaign.h"
+
+namespace cellrel::query {
+namespace {
+
+Scenario query_scenario(std::uint64_t seed, std::uint32_t threads) {
+  Scenario sc;
+  sc.device_count = 300;  // > 4 shards at 64 devices/shard
+  sc.deployment.bs_count = 1000;
+  sc.campaign_days = 30.0;
+  sc.seed = seed;
+  sc.threads = threads;
+  return sc;
+}
+
+/// The spec matrix under test: every preset plus custom specs covering each
+/// aggregation with filters, record-keyed groups, and a time window.
+std::vector<QuerySpec> all_specs() {
+  std::vector<QuerySpec> specs;
+  for (const PresetInfo& info : preset_table()) {
+    specs.push_back(*find_preset(info.name));
+  }
+  const char* custom[] = {
+      "name=pf4g agg=pf group=type rat=4G",
+      "name=lvlcdf agg=cdf group=level type=Data_Stall",
+      "name=bstop agg=topk group=bs k=7",
+      "name=ratmix agg=breakdown group=rat since=3600 until=2000000",
+      "name=ispwin agg=pf group=isp level=2",
+  };
+  for (const char* text : custom) {
+    std::string error;
+    const auto spec = parse_query_spec(text, &error);
+    EXPECT_TRUE(spec.has_value()) << text << ": " << error;
+    if (spec) specs.push_back(*spec);
+  }
+  return specs;
+}
+
+class QueryContractTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ::unsetenv("CELLREL_THREADS"); }
+};
+
+TEST_F(QueryContractTest, SpecParseCanonicalRoundTrip) {
+  const char* texts[] = {
+      "agg=pf group=model series=frequency",
+      "agg=cdf group=level type=Data_Stall since=10.5 until=99.25",
+      "agg=topk group=cause k=5 type=Data_Setup_Error",
+      "agg=transition from=4G to=5G",
+      "agg=breakdown group=isp model=12 rat=5G level=3 bs=17 precision=4 bars=off",
+  };
+  for (const char* text : texts) {
+    std::string error;
+    const auto spec = parse_query_spec(text, &error);
+    ASSERT_TRUE(spec.has_value()) << text << ": " << error;
+    // to_string is canonical: parsing it back reproduces the same spelling.
+    const std::string canonical = to_string(*spec);
+    const auto reparsed = parse_query_spec(canonical, &error);
+    ASSERT_TRUE(reparsed.has_value()) << canonical << ": " << error;
+    EXPECT_EQ(to_string(*reparsed), canonical);
+  }
+}
+
+TEST_F(QueryContractTest, SpecParseRejectsBadInput) {
+  const char* bad[] = {
+      "agg=nope",         "group=martians agg=pf",   "agg=pf k=zero",
+      "agg=pf since=abc", "agg=pf type=Not_A_Type",  "agg=pf isp=ISP-Z",
+      "agg=pf level=9",   "nonsense",
+  };
+  for (const char* text : bad) {
+    std::string error;
+    EXPECT_FALSE(parse_query_spec(text, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST_F(QueryContractTest, EveryPresetResolvesAndLists) {
+  for (const PresetInfo& info : preset_table()) {
+    const auto spec = find_preset(info.name);
+    ASSERT_TRUE(spec.has_value()) << info.name;
+    EXPECT_EQ(spec->name, info.name);
+    EXPECT_NE(render_preset_list().find(info.name), std::string::npos);
+  }
+  EXPECT_FALSE(find_preset("fig99").has_value());
+}
+
+TEST_F(QueryContractTest, EmptyInputProducesFullDomainRows) {
+  // A pf query over no devices still emits the full group domain (all 34
+  // models) with zero counts, so exports are schema-stable.
+  TraceDataset empty;
+  const QueryResult pf = execute_over_dataset(empty, *find_preset("fig2"));
+  EXPECT_EQ(pf.pf.size(), phone_models().size());
+  for (const auto& row : pf.pf) {
+    EXPECT_EQ(row.devices, 0u);
+    EXPECT_EQ(row.prevalence, 0.0);
+  }
+  const QueryResult top = execute_over_dataset(empty, *find_preset("table2"));
+  EXPECT_TRUE(top.top.empty());
+}
+
+// The tentpole contract: every aggregation, exact-equal between spill-CSV,
+// materialized, dataset-directory and streaming execution across 3 seeds x
+// {1,2,4} threads, compared as whole JSON + CSV strings.
+TEST_F(QueryContractTest, AllSourcesByteIdenticalAcrossSeedsAndThreads) {
+  const std::vector<QuerySpec> specs = all_specs();
+  const std::filesystem::path base =
+      std::filesystem::temp_directory_path() / "cellrel_query_contract_test";
+  std::filesystem::remove_all(base);
+
+  for (const std::uint64_t seed : {11ULL, 71ULL, 2021ULL}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+
+    // Reference: inline queries over the threads=1 materialized merge.
+    Scenario ref_sc = query_scenario(seed, 1);
+    ref_sc.inline_queries = specs;
+    const CampaignResult ref = Campaign(ref_sc).run();
+    ASSERT_EQ(ref.query_results.size(), specs.size());
+    std::vector<std::string> ref_json, ref_csv;
+    for (const QueryResult& qr : ref.query_results) {
+      ref_json.push_back(query_result_to_json(qr));
+      ref_csv.push_back(query_result_to_csv(qr));
+    }
+
+    // Dataset-directory source: write the reference dataset out, read it
+    // back, execute offline.
+    const std::filesystem::path ds_dir = base / ("ds-" + std::to_string(seed));
+    write_dataset_csv(ref.dataset, ds_dir);
+    const TraceDataset reread = read_dataset_csv(ds_dir);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      SCOPED_TRACE("dataset-dir spec " + specs[i].name);
+      const QueryResult qr = execute_over_dataset(reread, specs[i]);
+      EXPECT_EQ(query_result_to_json(qr), ref_json[i]);
+      EXPECT_EQ(query_result_to_csv(qr), ref_csv[i]);
+    }
+
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+
+      // Materialized merge at this thread count.
+      Scenario mat_sc = query_scenario(seed, threads);
+      mat_sc.inline_queries = specs;
+      const CampaignResult mat = Campaign(mat_sc).run();
+      ASSERT_EQ(mat.query_results.size(), specs.size());
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(query_result_to_json(mat.query_results[i]), ref_json[i])
+            << "materialized spec " << specs[i].name;
+      }
+
+      // Streaming merge with spill at this thread count.
+      const std::filesystem::path spill_dir =
+          base / ("spill-" + std::to_string(seed) + "-" + std::to_string(threads));
+      Scenario str_sc = query_scenario(seed, threads);
+      str_sc.stream = true;
+      str_sc.spill_dir = spill_dir.string();
+      str_sc.inline_queries = specs;
+      const CampaignResult streamed = Campaign(str_sc).run();
+      ASSERT_EQ(streamed.query_results.size(), specs.size());
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(query_result_to_json(streamed.query_results[i]), ref_json[i])
+            << "streaming spec " << specs[i].name;
+        EXPECT_EQ(query_result_to_csv(streamed.query_results[i]), ref_csv[i])
+            << "streaming spec " << specs[i].name;
+      }
+
+      // Spill-CSV source: re-execute from the shard files the streaming run
+      // left behind, sidecars from the exported dataset directory.
+      const TraceDataset sidecars = read_dataset_sidecars_csv(ds_dir);
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE("spill spec " + specs[i].name);
+        const QueryResult qr = execute_over_spill(spill_dir, sidecars, specs[i]);
+        EXPECT_EQ(query_result_to_json(qr), ref_json[i]);
+        EXPECT_EQ(query_result_to_csv(qr), ref_csv[i]);
+      }
+    }
+  }
+  std::filesystem::remove_all(base);
+}
+
+// Preset-vs-legacy-renderer golden equivalence: the preset's text output is
+// byte-equal to what the bench renderers produce from the Aggregator.
+TEST_F(QueryContractTest, PresetsReproduceLegacyRenderers) {
+  const CampaignResult result = Campaign(query_scenario(71, 1)).run();
+  const Aggregator agg(result.dataset);
+
+  {  // fig2: prevalence per model through render_series, default options.
+    const auto by_model = agg.by_model();
+    Series legacy;
+    legacy.name = "fig2";
+    for (const auto& spec : phone_models()) {
+      legacy.labels.push_back("model " + std::to_string(spec.model_id));
+      const auto it = by_model.find(spec.model_id);
+      legacy.values.push_back(it != by_model.end() ? it->second.prevalence() : 0.0);
+    }
+    const QueryResult qr = execute_over_dataset(result.dataset, *find_preset("fig2"));
+    EXPECT_EQ(query_result_to_text(qr), render_series(legacy));
+  }
+
+  {  // fig5: frequency per model, precision 1 (the bench's option).
+    const auto by_model = agg.by_model();
+    Series legacy;
+    legacy.name = "fig5";
+    for (const auto& spec : phone_models()) {
+      legacy.labels.push_back("model " + std::to_string(spec.model_id));
+      const auto it = by_model.find(spec.model_id);
+      legacy.values.push_back(it != by_model.end() ? it->second.frequency() : 0.0);
+    }
+    const QueryResult qr = execute_over_dataset(result.dataset, *find_preset("fig5"));
+    EXPECT_EQ(query_result_to_text(qr), render_series(legacy, {.precision = 1}));
+  }
+
+  {  // fig17: the 4G->5G transition heatmap, legacy panel title.
+    const QueryResult qr = execute_over_dataset(result.dataset, *find_preset("fig17"));
+    EXPECT_EQ(query_result_to_text(qr),
+              render_transition_matrix(agg.transition_increase(Rat::k4G, Rat::k5G),
+                                       "4G level-i -> 5G level-j"));
+  }
+
+  {  // table2: top error codes, value-equal to Aggregator::top_error_codes.
+    const QueryResult qr = execute_over_dataset(result.dataset, *find_preset("table2"));
+    const auto legacy = agg.top_error_codes(10);
+    ASSERT_EQ(qr.top.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+      EXPECT_EQ(qr.top[i].key, std::string(to_string(legacy[i].cause))) << "rank " << i;
+      EXPECT_EQ(qr.top[i].count, legacy[i].count) << "rank " << i;
+      EXPECT_EQ(qr.top[i].percent, legacy[i].percent) << "rank " << i;
+    }
+  }
+}
+
+TEST_F(QueryContractTest, FiltersRestrictTheRecordStream) {
+  const CampaignResult result = Campaign(query_scenario(11, 1)).run();
+
+  // A type filter must reproduce the breakdown's own per-type count.
+  const QueryResult mix = execute_over_dataset(result.dataset, *find_preset("fig3"));
+  ASSERT_EQ(mix.breakdown.size(), 1u);
+  std::string error;
+  const auto stalls =
+      parse_query_spec("name=stalls agg=breakdown type=Data_Stall", &error);
+  ASSERT_TRUE(stalls.has_value()) << error;
+  const QueryResult only_stalls = execute_over_dataset(result.dataset, *stalls);
+  ASSERT_EQ(only_stalls.breakdown.size(), 1u);
+  EXPECT_EQ(only_stalls.breakdown[0].total,
+            mix.breakdown[0].counts[index_of(FailureType::kDataStall)]);
+  for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+    if (t == index_of(FailureType::kDataStall)) continue;
+    EXPECT_EQ(only_stalls.breakdown[0].counts[t], 0u);
+  }
+
+  // An impossible window keeps the domain but zeroes every count.
+  const auto never = parse_query_spec("agg=pf group=isp since=1e18", &error);
+  ASSERT_TRUE(never.has_value()) << error;
+  const QueryResult empty = execute_over_dataset(result.dataset, *never);
+  ASSERT_EQ(empty.pf.size(), kIspCount);
+  for (const auto& row : empty.pf) {
+    EXPECT_EQ(row.failures, 0u);
+    EXPECT_GT(row.devices, 0u);  // device-level domain is unfiltered
+  }
+}
+
+TEST_F(QueryContractTest, TopKOrdersByCountThenId) {
+  const CampaignResult result = Campaign(query_scenario(2021, 1)).run();
+  std::string error;
+  const auto spec = parse_query_spec("agg=topk group=bs k=12", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  const QueryResult qr = execute_over_dataset(result.dataset, *spec);
+  ASSERT_LE(qr.top.size(), 12u);
+  ASSERT_FALSE(qr.top.empty());
+  for (std::size_t i = 1; i < qr.top.size(); ++i) {
+    const bool ordered = qr.top[i - 1].count > qr.top[i].count ||
+                         (qr.top[i - 1].count == qr.top[i].count &&
+                          qr.top[i - 1].id < qr.top[i].id);
+    EXPECT_TRUE(ordered) << "rank " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cellrel::query

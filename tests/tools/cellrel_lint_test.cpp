@@ -176,11 +176,16 @@ TEST(CellrelLint, ShardStateInlineCases) {
 
 TEST(CellrelLint, OrderedExportFixtureTree) {
   const auto violations = lint_tree(kFixtures / "ordered_export");
-  EXPECT_EQ(count_rule(violations, "ordered-export"), 3);
-  // The identical pattern outside the surface (device/) stays silent.
+  EXPECT_EQ(count_rule(violations, "ordered-export"), 4);
+  // The identical pattern outside the surface (device/) stays silent; the
+  // flagged files are the analysis and query seeds only.
+  int query_hits = 0;
   for (const auto& v : violations) {
-    EXPECT_EQ(v.file, "analysis/agg.cpp") << v.message;
+    EXPECT_TRUE(v.file == "analysis/agg.cpp" || v.file == "query/bad_query.cpp")
+        << v.file << ": " << v.message;
+    if (v.file == "query/bad_query.cpp") ++query_hits;
   }
+  EXPECT_EQ(query_hits, 1);
 }
 
 TEST(CellrelLint, OrderedExportSurfaceScoping) {
@@ -396,6 +401,27 @@ TEST(CellrelLint, UnknownIncludeModuleFlagged) {
   const std::string source = "#include \"vendor/blob.h\"\n";
   EXPECT_TRUE(has_rule(lint_source(source, "common", "common/x.h", default_layers()),
                        "unknown-module"));
+}
+
+TEST(CellrelLint, QueryModuleRegisteredInLayerDag) {
+  // query (layer 3) may include the analysis/obs/common stack...
+  const std::string ok =
+      "#include \"analysis/aggregate.h\"\n"
+      "#include \"common/stats.h\"\n"
+      "#include \"obs/export.h\"\n";
+  EXPECT_TRUE(lint_source(ok, "query", "query/engine.cpp", default_layers()).empty());
+  // ...but lower layers may not reach back up into query.
+  EXPECT_TRUE(has_rule(lint_source("#include \"query/spec.h\"\n", "device", "device/x.h",
+                                   default_layers()),
+                       "layering"));
+  // query is part of the deterministic export surface.
+  const std::string unordered =
+      "#include <unordered_map>\n"
+      "void f(const std::unordered_map<int, int>& m) {\n"
+      "  for (const auto& kv : m) { (void)kv; }\n"
+      "}\n";
+  EXPECT_TRUE(has_rule(lint_source(unordered, "query", "query/export.cpp", default_options()),
+                       "ordered-export"));
 }
 
 TEST(CellrelLint, IdentifierBoundariesRespected) {

@@ -237,7 +237,7 @@ TEST_F(StreamingCampaignTest, FullReportAndMetricsByteIdentical) {
   const CampaignResult streamed = Campaign(sc).run();
   ASSERT_NE(streamed.stream, nullptr);
 
-  EXPECT_EQ(render_full_report(materialized.dataset),
+  EXPECT_EQ(render_full_report(Aggregator(materialized.dataset)),
             render_full_report(*streamed.stream));
   // The default metric export (wall timers and process.* accounting
   // excluded) is byte-identical across execution modes.

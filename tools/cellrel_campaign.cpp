@@ -25,7 +25,9 @@
 // namespace, and --health-out FILE writes the full report as JSON
 // (byte-identical for every --threads value).
 
+#include <cctype>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -35,16 +37,17 @@
 #include "cli.h"
 #include "detect/detector.h"
 #include "obs/export.h"
+#include "query/export.h"
+#include "query/presets.h"
 #include "workload/campaign.h"
 
 using namespace cellrel;
 
 namespace {
 
-/// Headline report over either aggregation surface (Aggregator or
-/// StreamingAggregator — identical query set, identical output bytes).
-template <typename Agg>
-void print_report_from(const Agg& agg, const CampaignResult& result) {
+/// Headline report over the unified aggregation surface (materialized or
+/// streaming — identical query set, identical output bytes).
+void print_report_from(const AggregatorView& agg, const CampaignResult& result) {
   const auto overall = agg.overall();
   const SampleSet durations = agg.durations_all();
   const auto share = agg.duration_share_by_type();
@@ -69,6 +72,16 @@ void print_report(const CampaignResult& result) {
   }
 }
 
+/// File-name-safe spelling of a query name for --query-out.
+std::string sanitize_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out.empty() ? std::string("query") : out;
+}
+
 bool write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
@@ -90,6 +103,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string metrics_csv;
   std::string health_out;
+  std::string query_out;
   bool print_metrics = false;
   bool quiet = false;
 
@@ -131,6 +145,32 @@ int main(int argc, char** argv) {
                     cli::double_value(&sc.detect_window_s));
   parser.add_option("--health-out", "FILE", "export the BS-health report as JSON",
                     cli::string_value(&health_out));
+  parser.add_option("--query", "SPEC", "run an inline query at merge time (repeatable)",
+                    [&sc](std::string_view v) {
+                      std::string error;
+                      const auto spec = query::parse_query_spec(v, &error);
+                      if (!spec) {
+                        std::fprintf(stderr, "bad --query: %s\n", error.c_str());
+                        return false;
+                      }
+                      sc.inline_queries.push_back(*spec);
+                      return true;
+                    });
+  parser.add_option("--query-preset", "NAME",
+                    "run a named query preset at merge time (repeatable)",
+                    [&sc](std::string_view v) {
+                      const auto spec = query::find_preset(v);
+                      if (!spec) {
+                        std::fprintf(stderr, "unknown --query-preset: %.*s\n",
+                                     static_cast<int>(v.size()), v.data());
+                        return false;
+                      }
+                      sc.inline_queries.push_back(*spec);
+                      return true;
+                    });
+  parser.add_option("--query-out", "DIR",
+                    "write inline query results as <name>.json under DIR",
+                    cli::string_value(&query_out));
   parser.add_option("--out", "DIR", "export the dataset as CSV into DIR",
                     cli::string_value(&out_dir));
   parser.add_option("--metrics-out", "FILE", "export campaign metrics as JSON",
@@ -207,6 +247,20 @@ int main(int argc, char** argv) {
   if (!health_out.empty() && result.health &&
       !write_file(health_out, detect::health_report_to_json(*result.health))) {
     return 1;
+  }
+  if (!query_out.empty() && !result.query_results.empty()) {
+    std::filesystem::create_directories(query_out);
+  }
+  for (const query::QueryResult& qr : result.query_results) {
+    if (!query_out.empty()) {
+      const std::string path =
+          (std::filesystem::path(query_out) / (sanitize_name(qr.spec.name) + ".json"))
+              .string();
+      if (!write_file(path, query::query_result_to_json(qr))) return 1;
+    } else if (!quiet) {
+      std::printf("\nquery %s:\n%s", qr.spec.name.c_str(),
+                  query::query_result_to_text(qr).c_str());
+    }
   }
   if (!metrics_out.empty() &&
       !write_file(metrics_out, obs::metrics_to_json(result.metrics))) {

@@ -1,0 +1,34 @@
+// cellrel_query — deterministic queries over exported campaign outputs.
+//
+// Runs one QuerySpec (a named --preset or a custom --spec) over a dataset
+// directory written by `cellrel_campaign --out DIR`, or — with --spill-dir —
+// over the per-shard spill CSVs of a streaming campaign, taking the fleet
+// and BS sidecars from DATASET_DIR. Output is byte-deterministic: the same
+// scenario produces identical bytes whatever the thread count or execution
+// mode that wrote the inputs.
+//
+//   cellrel_query DIR --preset fig5 --format json
+//   cellrel_query DIR --spec "agg=pf group=isp series=frequency"
+//   cellrel_query --list-presets
+
+#include <cstdio>
+
+#include "cli.h"
+#include "query_cli.h"
+
+int main(int argc, char** argv) {
+  cellrel::QueryToolOptions opts;
+  cellrel::cli::Parser parser("cellrel_query", "DATASET_DIR");
+  cellrel::register_query_options(parser, &opts);
+
+  const cellrel::cli::ParseResult parsed = parser.parse(argc, argv);
+  if (parsed.help_requested) {
+    std::fputs(parser.usage().c_str(), stdout);
+    return 0;
+  }
+  if (!parsed.ok) {
+    std::fputs(parser.usage().c_str(), stderr);
+    return 2;
+  }
+  return cellrel::run_query_tool(opts, parsed.positionals);
+}

@@ -42,7 +42,7 @@ const std::vector<std::pair<std::string, std::string>>& banned_wall_clock() {
 /// simulation state.
 bool obs_include_allowed(const std::string& module) {
   static const std::set<std::string> kAllowed = {
-      "obs", "radio", "telephony", "core", "detect", "workload", "analysis",
+      "obs", "radio", "telephony", "core", "detect", "workload", "analysis", "query",
   };
   return kAllowed.count(module) != 0;
 }
@@ -160,7 +160,7 @@ void scan_includes(const std::vector<Token>& code, const std::string& module,
             {relative_path, lineno, "obs",
              "module '" + module + "' may not include '" + target +
                  "'; only instrumented modules (radio, telephony, core, "
-                 "detect, workload, analysis) may depend on the "
+                 "detect, workload, analysis, query) may depend on the "
                  "observability layer"});
       }
       if (!dep.empty() && dep != module) {
@@ -694,7 +694,7 @@ const std::map<std::string, int>& default_layers() {
       {"common", 0}, {"sim", 0}, {"obs", 0},
       {"radio", 1},  {"bs", 1},  {"device", 1}, {"net", 1},
       {"telephony", 2}, {"core", 2},
-      {"workload", 3},  {"timp", 3}, {"analysis", 3}, {"detect", 3},
+      {"workload", 3},  {"timp", 3}, {"analysis", 3}, {"detect", 3}, {"query", 3},
   };
   return kLayers;
 }
@@ -702,7 +702,7 @@ const std::map<std::string, int>& default_layers() {
 LintOptions default_options() {
   LintOptions o;
   o.layers = default_layers();
-  o.ordered_export_modules = {"obs", "analysis", "detect"};
+  o.ordered_export_modules = {"obs", "analysis", "detect", "query"};
   o.ordered_export_files = {"workload/campaign.cpp", "workload/campaign.h"};
   o.batch_hot_files = {"analysis/batch.h", "analysis/batch.cpp"};
   o.must_check = {

@@ -1,0 +1,35 @@
+// Shared driver behind `cellrel_query` and `cellrel_analyze query`: one
+// option table and one execution path, so both spellings accept the same
+// flags and produce the same bytes.
+
+#ifndef CELLREL_TOOLS_QUERY_CLI_H
+#define CELLREL_TOOLS_QUERY_CLI_H
+
+#include <string>
+#include <vector>
+
+#include "cli.h"
+
+namespace cellrel {
+
+struct QueryToolOptions {
+  std::string preset;     // --preset NAME (XOR --spec)
+  std::string spec_text;  // --spec "agg=pf group=model ..."
+  bool list_presets = false;
+  std::string format = "text";  // text | json | csv
+  std::string out;              // output file ("" = stdout)
+  std::string spill_dir;        // execute over spill shards instead of records.csv
+};
+
+/// Registers --preset/--spec/--list-presets/--format/--out/--spill-dir on
+/// `parser`, writing into `*opts`.
+void register_query_options(cli::Parser& parser, QueryToolOptions* opts);
+
+/// Runs one query per the options. `positionals` must hold exactly one
+/// DATASET_DIR (none needed for --list-presets). Returns a process exit
+/// code: 0 ok, 1 execution error, 2 usage error.
+int run_query_tool(const QueryToolOptions& opts, const std::vector<std::string>& positionals);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_TOOLS_QUERY_CLI_H

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a `cellrel_query --format json` document against the checked-in
+schema (docs/query.schema.json).
+
+Stdlib only: implements the small JSON-Schema subset the schema actually
+uses (type, properties, patternProperties, required, additionalProperties,
+items, minimum, maximum), so CI does not need a jsonschema package. On top
+of the schema it checks the one structural rule a flat schema cannot state:
+exactly one of `rows` or `matrix` must be present.
+
+Usage: validate_query.py RESULT.json SCHEMA.json
+Exit status: 0 when the document validates, 1 with one line per finding
+otherwise.
+"""
+
+import json
+import re
+import sys
+
+
+def type_matches(value, expected):
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    raise ValueError(f"unsupported schema type: {expected}")
+
+
+def validate(value, schema, path, errors):
+    expected = schema.get("type")
+    if expected is not None and not type_matches(value, expected):
+        errors.append(f"{path}: expected {expected}, got {type(value).__name__}")
+        return
+
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(value, (int, float)) and value < minimum:
+        errors.append(f"{path}: {value} is below minimum {minimum}")
+    maximum = schema.get("maximum")
+    if maximum is not None and isinstance(value, (int, float)) and value > maximum:
+        errors.append(f"{path}: {value} is above maximum {maximum}")
+
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        patterns = schema.get("patternProperties", {})
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key \"{key}\"")
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child_path = f"{path}.{key}" if path else key
+            matched = [s for pattern, s in patterns.items() if re.search(pattern, key)]
+            if key in properties:
+                validate(item, properties[key], child_path, errors)
+            elif matched:
+                for pattern_schema in matched:
+                    validate(item, pattern_schema, child_path, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected key \"{key}\"")
+            elif isinstance(additional, dict):
+                validate(item, additional, child_path, errors)
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, f"{path}[{i}]", errors)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], "r", encoding="utf-8") as f:
+        document = json.load(f)
+    with open(argv[2], "r", encoding="utf-8") as f:
+        schema = json.load(f)
+
+    errors = []
+    validate(document, schema, "", errors)
+    if isinstance(document, dict):
+        has_rows = "rows" in document
+        has_matrix = "matrix" in document
+        if has_rows == has_matrix:
+            errors.append("exactly one of \"rows\" or \"matrix\" must be present")
+        cells = document.get("matrix", {}).get("cells")
+        if isinstance(cells, list):
+            if len(cells) != 6 or any(
+                not isinstance(r, list) or len(r) != 6 for r in cells
+            ):
+                errors.append("matrix.cells must be a 6x6 array of numbers")
+    if errors:
+        for e in errors:
+            print(f"{argv[1]}: {e}", file=sys.stderr)
+        return 1
+    shape = (
+        f"{len(document['rows'])} rows" if "rows" in document else "6x6 matrix"
+    )
+    print(f"{argv[1]}: valid ({document.get('agg', '?')}, {shape})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
