@@ -353,4 +353,17 @@ void publish_health_metrics(const HealthReport& report, obs::MetricRegistry& reg
   for (double s : report.time_to_detect_s.sorted()) ttd.add(s);
 }
 
+double incident_coverage(const HealthReport& report, std::span<const BsIndex> affected) {
+  if (affected.empty()) return 1.0;
+  std::vector<BsIndex> flagged;
+  flagged.reserve(report.findings.size());
+  for (const CellFinding& f : report.findings) flagged.push_back(f.bs);
+  std::sort(flagged.begin(), flagged.end());
+  std::size_t hit = 0;
+  for (const BsIndex bs : affected) {
+    if (std::binary_search(flagged.begin(), flagged.end(), bs)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(affected.size());
+}
+
 }  // namespace cellrel::detect

@@ -144,6 +144,12 @@ std::string render_health_report(const HealthReport& report, std::size_t top);
 void publish_health_metrics(const HealthReport& report,
                             obs::MetricRegistry& registry);
 
+/// Incident-aware scoring (DESIGN.md §13): the fraction of `affected` BSes
+/// (a scenario's injected incident ground truth, e.g. the degraded-cluster
+/// set) that appear among the report's findings with any verdict. An empty
+/// affected set is vacuously covered (1.0). Pure and order-insensitive.
+double incident_coverage(const HealthReport& report, std::span<const BsIndex> affected);
+
 }  // namespace cellrel::detect
 
 #endif  // CELLREL_DETECT_DETECTOR_H

@@ -16,6 +16,13 @@ std::string_view to_string(NetworkFault fault) {
   return "?";
 }
 
+std::optional<NetworkFault> parse_network_fault(std::string_view name) {
+  for (const NetworkFault f : kAllNetworkFaults) {
+    if (name == to_string(f)) return f;
+  }
+  return std::nullopt;
+}
+
 NetworkStack::NetworkStack(Simulator& sim, Rng rng) : sim_(sim), rng_(rng) {}
 
 void NetworkStack::answer(bool reachable, SimDuration rtt_mean, SimDuration timeout,

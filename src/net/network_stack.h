@@ -14,8 +14,10 @@
 #ifndef CELLREL_NET_NETWORK_STACK_H
 #define CELLREL_NET_NETWORK_STACK_H
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -36,6 +38,19 @@ enum class NetworkFault : std::uint8_t {
 };
 
 std::string_view to_string(NetworkFault fault);
+
+/// Every NetworkFault value, in declaration order — the domain scenario-level
+/// fault schedules and the fault-transition property tests iterate over.
+inline constexpr std::array<NetworkFault, 6> kAllNetworkFaults = {
+    NetworkFault::kNone,           NetworkFault::kNetworkStall,
+    NetworkFault::kFirewallMisconfig, NetworkFault::kProxyBroken,
+    NetworkFault::kModemDriverWedged, NetworkFault::kDnsOutage,
+};
+
+/// Parses the to_string() spelling (e.g. "modem-driver-wedged") back to the
+/// enum. Returns std::nullopt for unknown names; round-trips every value of
+/// kAllNetworkFaults.
+std::optional<NetworkFault> parse_network_fault(std::string_view name);
 
 /// True when the fault lives on the device (probing classifies it as a
 /// false positive rather than a cellular failure).

@@ -30,6 +30,8 @@ std::string group_key(GroupBy group, std::int64_t id) {
     case GroupBy::kBs: return "bs " + std::to_string(id);
     case GroupBy::kType: return std::string(to_string(static_cast<FailureType>(id)));
     case GroupBy::kCause: return std::string(to_string(static_cast<FailCause>(id)));
+    case GroupBy::kFiveG: return id ? "5G models" : "non-5G models";
+    case GroupBy::kAndroid: return id ? "Android 10" : "Android 9";
   }
   return "?";
 }
@@ -60,6 +62,11 @@ std::vector<std::int64_t> enum_domain(GroupBy group) {
         out.push_back(static_cast<std::int64_t>(i));
       }
       break;
+    case GroupBy::kFiveG:
+    case GroupBy::kAndroid:
+      out.push_back(0);
+      out.push_back(1);
+      break;
     case GroupBy::kBs:
     case GroupBy::kCause:
       break;  // observation-defined
@@ -68,7 +75,8 @@ std::vector<std::int64_t> enum_domain(GroupBy group) {
 }
 
 bool device_keyed(GroupBy group) {
-  return group == GroupBy::kModel || group == GroupBy::kIsp;
+  return group == GroupBy::kModel || group == GroupBy::kIsp ||
+         group == GroupBy::kFiveG || group == GroupBy::kAndroid;
 }
 
 }  // namespace
@@ -142,6 +150,8 @@ std::int64_t QueryExecutor::group_id(const DeviceMeta& device, const RowFacts& f
     case GroupBy::kBs: return static_cast<std::int64_t>(facts.bs);
     case GroupBy::kType: return static_cast<std::int64_t>(index_of(facts.type));
     case GroupBy::kCause: return static_cast<std::int64_t>(facts.cause);
+    case GroupBy::kFiveG: return device.has_5g ? 1 : 0;
+    case GroupBy::kAndroid: return device.android == AndroidVersion::kAndroid10 ? 1 : 0;
   }
   return 0;
 }
@@ -189,6 +199,10 @@ QueryResult QueryExecutor::result() const {
           ++device_counts[meta.model_id];
         } else if (spec_.group == GroupBy::kIsp) {
           ++device_counts[static_cast<std::int64_t>(index_of(meta.isp))];
+        } else if (spec_.group == GroupBy::kFiveG) {
+          ++device_counts[meta.has_5g ? 1 : 0];
+        } else if (spec_.group == GroupBy::kAndroid) {
+          ++device_counts[meta.android == AndroidVersion::kAndroid10 ? 1 : 0];
         }
       }
       for (std::int64_t gid : domain) {

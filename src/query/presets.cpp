@@ -6,16 +6,23 @@ namespace cellrel::query {
 
 namespace {
 
-constexpr std::array<PresetInfo, 9> kPresets = {{
+constexpr std::array<PresetInfo, 16> kPresets = {{
     {"fig2", "failure prevalence per phone model (Fig. 2)"},
     {"fig3", "failure type mix: kept failures per type (Fig. 3)"},
     {"fig4", "failure duration CDF, canonical seconds (Fig. 4)"},
     {"fig5", "failure frequency per phone model (Fig. 5)"},
+    {"fig6", "failure prevalence: non-5G vs 5G models (Fig. 6)"},
+    {"fig7", "failure frequency: non-5G vs 5G models (Fig. 7)"},
+    {"fig8", "failure prevalence: Android 9 vs Android 10 (Fig. 8)"},
+    {"fig9", "failure frequency: Android 9 vs Android 10 (Fig. 9)"},
     {"fig10", "Data_Stall duration CDF, canonical seconds (Fig. 10)"},
+    {"fig11", "top base stations by kept failures, Zipf head (Fig. 11)"},
     {"fig12", "failure prevalence per ISP (Fig. 12)"},
     {"fig13", "failure frequency per ISP (Fig. 13)"},
     {"fig17", "4G->5G transition failure-probability increase (Fig. 17)"},
     {"table2", "top Data_Setup_Error causes by share (Table 2)"},
+    {"mobility", "failure frequency per serving RAT (handover workload view)"},
+    {"incident", "hottest base stations by kept failures (incident triage)"},
 }};
 
 }  // namespace
@@ -48,10 +55,42 @@ std::optional<QuerySpec> find_preset(std::string_view name) {
     spec.render.precision = 1;
     return spec;
   }
+  if (name == "fig6") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kFiveG;
+    spec.series = SeriesKind::kPrevalence;
+    return spec;
+  }
+  if (name == "fig7") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kFiveG;
+    spec.series = SeriesKind::kFrequency;
+    spec.render.precision = 1;
+    return spec;
+  }
+  if (name == "fig8") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kAndroid;
+    spec.series = SeriesKind::kPrevalence;
+    return spec;
+  }
+  if (name == "fig9") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kAndroid;
+    spec.series = SeriesKind::kFrequency;
+    spec.render.precision = 1;
+    return spec;
+  }
   if (name == "fig10") {
     spec.agg = AggKind::kCdf;
     spec.group = GroupBy::kNone;
     spec.filter.type = FailureType::kDataStall;
+    return spec;
+  }
+  if (name == "fig11") {
+    spec.agg = AggKind::kTopK;
+    spec.group = GroupBy::kBs;
+    spec.top_k = 10;
     return spec;
   }
   if (name == "fig12") {
@@ -78,6 +117,23 @@ std::optional<QuerySpec> find_preset(std::string_view name) {
     spec.group = GroupBy::kCause;
     spec.filter.type = FailureType::kDataSetupError;
     spec.top_k = 10;
+    return spec;
+  }
+  // Scenario-pack views (DESIGN.md §13). "mobility" surfaces how a
+  // waypoint-driven fleet redistributes failure load across serving RATs;
+  // "incident" ranks the hottest cells, where degraded clusters and outage
+  // regions rise to the head of the Fig. 11 Zipf curve.
+  if (name == "mobility") {
+    spec.agg = AggKind::kPrevalenceFrequency;
+    spec.group = GroupBy::kRat;
+    spec.series = SeriesKind::kFrequency;
+    spec.render.precision = 1;
+    return spec;
+  }
+  if (name == "incident") {
+    spec.agg = AggKind::kTopK;
+    spec.group = GroupBy::kBs;
+    spec.top_k = 20;
     return spec;
   }
   return std::nullopt;

@@ -66,6 +66,8 @@ std::string_view to_string(GroupBy g) {
     case GroupBy::kBs: return "bs";
     case GroupBy::kType: return "type";
     case GroupBy::kCause: return "cause";
+    case GroupBy::kFiveG: return "fiveg";
+    case GroupBy::kAndroid: return "android";
   }
   return "?";
 }
@@ -91,7 +93,8 @@ std::string_view to_string(SeriesKind s) {
 
 std::optional<GroupBy> parse_group_by(std::string_view s) {
   for (GroupBy g : {GroupBy::kNone, GroupBy::kModel, GroupBy::kIsp, GroupBy::kRat,
-                    GroupBy::kLevel, GroupBy::kBs, GroupBy::kType, GroupBy::kCause}) {
+                    GroupBy::kLevel, GroupBy::kBs, GroupBy::kType, GroupBy::kCause,
+                    GroupBy::kFiveG, GroupBy::kAndroid}) {
     if (s == to_string(g)) return g;
   }
   return std::nullopt;

@@ -25,9 +25,10 @@
 
 namespace cellrel::query {
 
-/// Group-by key. Model and ISP are device-keyed (the prevalence denominator
-/// counts devices per group); the rest are record-keyed (every eligible
-/// device is the denominator of every row).
+/// Group-by key. Model, ISP, and the two device-cohort keys (5G capability,
+/// Android version) are device-keyed (the prevalence denominator counts
+/// devices per group); the rest are record-keyed (every eligible device is
+/// the denominator of every row).
 enum class GroupBy : std::uint8_t {
   kNone = 0,
   kModel,
@@ -37,6 +38,8 @@ enum class GroupBy : std::uint8_t {
   kBs,
   kType,
   kCause,
+  kFiveG,    // device cohort: non-5G vs 5G-capable models (Figs. 6/7)
+  kAndroid,  // device cohort: Android 9 vs Android 10 (Figs. 8/9)
 };
 
 enum class AggKind : std::uint8_t {

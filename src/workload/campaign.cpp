@@ -12,6 +12,7 @@
 #include "analysis/csv_io.h"
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "workload/mobility.h"
 
 namespace cellrel {
 
@@ -443,6 +444,10 @@ struct Session {
   CellCandidate prev_active{};  // valid when transitioned_active
   double hazard_stock = 0.0;
   double hazard_active = 0.0;
+  // --- Scenario pack (DESIGN.md §13); all false in pack-free scenarios ---
+  bool from_waypoint = false;  // arrival session planted by a mobility leg
+  bool forced_oos = false;     // regional outage, no roaming: no service
+  bool degraded = false;       // attached to a degraded-cluster BS in-window
 };
 
 double context_hazard(const Calibration& cal, const BaseStation& bs, const CellCandidate& cell,
@@ -499,6 +504,7 @@ class Campaign::DeviceRun final : public FailureEventListener {
 
   void plan_sessions();
   void account_session(const Session& s, bool failure_occurred);
+  void publish_scenario_counters();
   void build_stack();
 
   // Episode runners (failing devices only; stack exists).
@@ -535,6 +541,16 @@ class Campaign::DeviceRun final : public FailureEventListener {
   ScheduledEvent auto_clear_;
   ScheduledEvent user_reset_;
   bool traffic_running_ = false;
+
+  // Scenario-pack accounting (DESIGN.md §13), published per shard sink only
+  // when the owning feature is enabled so pack-free exports stay byte-stable.
+  std::uint64_t waypoints_ = 0;
+  std::uint64_t handover_sessions_ = 0;
+  std::uint64_t outage_sessions_ = 0;
+  std::uint64_t roamed_sessions_ = 0;
+  std::uint64_t forced_oos_sessions_ = 0;
+  std::uint64_t degraded_sessions_ = 0;
+  std::uint64_t faults_injected_ = 0;
 };
 
 void Campaign::DeviceRun::plan_sessions() {
@@ -550,8 +566,34 @@ void Campaign::DeviceRun::plan_sessions() {
       cal_.min_sessions, static_cast<int>(target_episodes * cal_.sessions_per_episode));
 
   const SimDuration window = SimDuration::days(scenario_.campaign_days);
+
+  // Scenario pack (DESIGN.md §13). Every pack feature is gated so that a
+  // pack-free scenario draws the exact historical rng sequence: the mobility
+  // trace is drawn only when enabled, and the incident branches consume no
+  // randomness unless a session is actually affected.
+  const MobilityConfig& mobility = scenario_.mobility;
+  const IncidentConfig& incident = scenario_.incident;
+  std::vector<Waypoint> waypoints;
+  if (mobility.enabled) {
+    waypoints =
+        build_waypoint_trace(mobility, profile_.mobility, scenario_.campaign_days, rng_);
+    waypoints_ = waypoints.size();
+  }
+  const bool outage_on =
+      incident.outage_enabled() && profile_.isp == incident.outage_isp;
+  const bool degradation_on = incident.degradation_enabled();
+  const std::size_t bs_count = registry_.size();
+  // Surviving ISPs for the national-roaming fallback (exactly two of three).
+  std::array<IspId, 2> roam_targets = {IspId::kIspA, IspId::kIspB};
+  if (outage_on && incident.national_roaming) {
+    std::size_t n = 0;
+    for (const IspId isp : kAllIsps) {
+      if (isp != incident.outage_isp) roam_targets[n++] = isp;
+    }
+  }
+
   sessions_.clear();
-  sessions_.reserve(static_cast<std::size_t>(session_count));
+  sessions_.reserve(static_cast<std::size_t>(session_count) + waypoints.size());
 
   const bool device_5g = profile_.model->has_5g;
   const bool stability =
@@ -564,18 +606,36 @@ void Campaign::DeviceRun::plan_sessions() {
 
   std::optional<CellCandidate> prev_stock;
   std::optional<CellCandidate> prev_active;
-  for (int i = 0; i < session_count; ++i) {
+
+  // Plans one session slot: the per-slot draw chain (dwell, location unless a
+  // waypoint pins it, serving BS, candidates, policy choices, hazards) in the
+  // exact order of the historical loop body. Waypoint and base slots share
+  // the prev_stock/prev_active chain, so a leg's arrival session transitions
+  // against whatever cell the device last held.
+  const auto plan_slot = [&](SimTime at, std::optional<LocationClass> pinned,
+                             bool from_waypoint) {
     Session s;
-    // Uniform jittered spread across the window keeps sessions ordered and
-    // deterministic.
-    const double frac = (static_cast<double>(i) + rng_.uniform(0.1, 0.9)) /
-                        static_cast<double>(session_count);
-    s.at = SimTime::origin() + window * frac;
+    s.at = at;
+    s.from_waypoint = from_waypoint;
     s.dwell_s = rng_.exponential(cal_.session_dwell_mean_s);
-    const LocationClass loc = profile_.mobility.sample(rng_);
+    const LocationClass loc = pinned ? *pinned : profile_.mobility.sample(rng_);
     s.bs = registry_.pick_bs(profile_.isp, loc, rng_);
+    if (outage_on &&
+        in_incident_window(incident.outage_start_day, incident.outage_days, at) &&
+        in_outage_region(s.bs, incident.outage_region_fraction)) {
+      ++outage_sessions_;
+      if (incident.national_roaming) {
+        // Re-attach through a surviving ISP's deployment at the same place.
+        const IspId fallback = roam_targets[static_cast<std::size_t>(rng_.uniform_int(0, 1))];
+        s.bs = registry_.pick_bs(fallback, loc, rng_);
+        ++roamed_sessions_;
+      } else {
+        s.forced_oos = true;
+        ++forced_oos_sessions_;
+      }
+    }
     const auto candidates = registry_.enumerate_candidates(s.bs, device_5g, rng_);
-    if (candidates.empty()) continue;
+    if (candidates.empty()) return;
 
     const auto stock_choice = stock_policy->choose(candidates, prev_stock);
     const auto active_choice = stability
@@ -609,9 +669,44 @@ void Campaign::DeviceRun::plan_sessions() {
     s.hazard_active =
         context_hazard(cal_, bs_active, s.active, s.transitioned_active, prev_a, dc_mult);
 
+    if (degradation_on &&
+        in_incident_window(incident.degradation_start_day, incident.degradation_days,
+                           at) &&
+        in_degraded_cluster(incident, bs_count, s.active.bs)) {
+      s.degraded = true;
+      ++degraded_sessions_;
+    }
+    if (from_waypoint && s.transitioned_active) ++handover_sessions_;
+
     prev_stock = s.stock;
     prev_active = s.active;
     sessions_.push_back(s);
+  };
+
+  // Base sessions spread across the window; waypoint arrival sessions merge
+  // in time order (the first waypoint is pinned to the origin, so the
+  // device's location is always defined before its first base session).
+  LocationClass current_loc = LocationClass::kUrban;
+  std::size_t next_wp = 0;
+  for (int i = 0; i < session_count; ++i) {
+    // Uniform jittered spread across the window keeps sessions ordered and
+    // deterministic.
+    const double frac = (static_cast<double>(i) + rng_.uniform(0.1, 0.9)) /
+                        static_cast<double>(session_count);
+    const SimTime at = SimTime::origin() + window * frac;
+    while (next_wp < waypoints.size() && waypoints[next_wp].at <= at) {
+      current_loc = waypoints[next_wp].loc;
+      plan_slot(waypoints[next_wp].at, current_loc, true);
+      ++next_wp;
+    }
+    plan_slot(at,
+              mobility.enabled ? std::optional<LocationClass>(current_loc) : std::nullopt,
+              false);
+  }
+  while (next_wp < waypoints.size()) {
+    current_loc = waypoints[next_wp].loc;
+    plan_slot(waypoints[next_wp].at, current_loc, true);
+    ++next_wp;
   }
 }
 
@@ -686,6 +781,16 @@ void Campaign::DeviceRun::build_stack() {
 }
 
 EpisodeKind Campaign::DeviceRun::pick_kind(const Session& s) {
+  // Scheduled Android-layer fault (DESIGN.md §13): inside the window every
+  // failing session exhibits the fault's probe signature. No draws consumed
+  // — the schedule is fully deterministic.
+  const IncidentConfig& incident = scenario_.incident;
+  if (incident.fault_schedule_enabled() &&
+      in_incident_window(incident.fault_start_day, incident.fault_days, s.at)) {
+    if (incident.fault == NetworkFault::kDnsOutage) return EpisodeKind::kDnsStallFp;
+    if (is_system_side(incident.fault)) return EpisodeKind::kSystemStallFp;
+    return EpisodeKind::kTrueStall;  // kNetworkStall
+  }
   Rng& rng = rng_;
   const BaseStation& bs = registry_.at(s.active.bs);
   // Transition-dominated sessions mostly fail during/just after the switch.
@@ -926,15 +1031,25 @@ void Campaign::DeviceRun::run_stall_episode(const Session& s, EpisodeKind kind) 
   schedule_traffic();
   tm.stall_detector().start();
 
+  const IncidentConfig& incident = scenario_.incident;
+  const bool scheduled =
+      incident.fault_schedule_enabled() &&
+      in_incident_window(incident.fault_start_day, incident.fault_days, s.at);
   NetworkFault fault = NetworkFault::kNetworkStall;
   if (kind == EpisodeKind::kSystemStallFp) {
-    const std::array<NetworkFault, 3> kSystem = {NetworkFault::kFirewallMisconfig,
-                                                 NetworkFault::kProxyBroken,
-                                                 NetworkFault::kModemDriverWedged};
-    fault = kSystem[static_cast<std::size_t>(rng_.uniform_int(0, 2))];
+    if (scheduled && is_system_side(incident.fault)) {
+      // The schedule pins the exact system-side fault instead of sampling one.
+      fault = incident.fault;
+    } else {
+      const std::array<NetworkFault, 3> kSystem = {NetworkFault::kFirewallMisconfig,
+                                                   NetworkFault::kProxyBroken,
+                                                   NetworkFault::kModemDriverWedged};
+      fault = kSystem[static_cast<std::size_t>(rng_.uniform_int(0, 2))];
+    }
   } else if (kind == EpisodeKind::kDnsStallFp) {
     fault = NetworkFault::kDnsOutage;
   }
+  if (scheduled && fault == incident.fault) ++faults_injected_;
   tm.network().inject_fault(fault);
 
   // Run until the detector withdraws the stall (fault cleared + traffic
@@ -1039,7 +1154,10 @@ void Campaign::DeviceRun::execute() {
   plan_sessions();
 
   if (failure_free_) {
-    for (const Session& s : sessions_) account_session(s, false);
+    // Forced-OOS sessions (regional outage, no roaming) fail even for
+    // otherwise failure-free devices: there is simply no service.
+    for (const Session& s : sessions_) account_session(s, s.forced_oos);
+    publish_scenario_counters();
     return;
   }
 
@@ -1058,10 +1176,23 @@ void Campaign::DeviceRun::execute() {
 
   for (const Session& s : sessions_) {
     if (sim_->now() < s.at) sim_->run_until(s.at);
-    const double p = std::min(cal_.session_failure_cap, s.hazard_active * scale);
-    const bool fail = rng_.bernoulli(p);
+    bool fail;
+    if (s.forced_oos) {
+      fail = true;  // outage without roaming: no service, deterministically
+    } else {
+      const double boost = s.degraded ? scenario_.incident.degradation_severity : 1.0;
+      const double p =
+          std::min(cal_.session_failure_cap, s.hazard_active * scale * boost);
+      fail = rng_.bernoulli(p);
+    }
     account_session(s, fail);
     if (!fail) continue;
+    if (s.forced_oos) {
+      // The outage leaves nothing to set up or stall; the episode is
+      // out-of-service by construction, and no FP extras ride along.
+      run_episode(s, EpisodeKind::kOutOfService);
+      continue;
+    }
     run_episode(s, pick_kind(s));
 
     // Occasional false-positive extras ride along with real activity.
@@ -1089,6 +1220,27 @@ void Campaign::DeviceRun::execute() {
   // Overhead: accumulate sums only; averages are computed once from the
   // merged sums (order-canonical, no incremental float drift).
   out_.overhead.add_device(mod_->monitor().overhead());
+  publish_scenario_counters();
+}
+
+void Campaign::DeviceRun::publish_scenario_counters() {
+  // Per-feature guard: a disabled feature registers nothing, so the metric
+  // export of pack-free scenarios is byte-identical to pre-pack builds.
+  if (scenario_.mobility.enabled) {
+    out_.metrics.counter("mobility.waypoints").add(waypoints_);
+    out_.metrics.counter("mobility.handover_sessions").add(handover_sessions_);
+  }
+  if (scenario_.incident.outage_enabled()) {
+    out_.metrics.counter("scenario.outage.sessions").add(outage_sessions_);
+    out_.metrics.counter("scenario.outage.roamed").add(roamed_sessions_);
+    out_.metrics.counter("scenario.outage.forced_oos").add(forced_oos_sessions_);
+  }
+  if (scenario_.incident.degradation_enabled()) {
+    out_.metrics.counter("scenario.degraded.sessions").add(degraded_sessions_);
+  }
+  if (scenario_.incident.fault_schedule_enabled()) {
+    out_.metrics.counter("scenario.faults.injected").add(faults_injected_);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,117 @@
+#include "workload/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellrel {
+
+namespace {
+
+/// SplitMix64-style avalanche over the BS index. Stateless on purpose: region
+/// membership must be identical across shards, tools, and tests without
+/// sharing any materialized set.
+std::uint64_t mix_bs(BsIndex bs) {
+  std::uint64_t z = (static_cast<std::uint64_t>(bs) + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+bool in_incident_window(double start_day, double days, SimTime at) {
+  const SimTime from = SimTime::origin() + SimDuration::days(start_day);
+  const SimTime to = from + SimDuration::days(days);
+  return at >= from && at < to;
+}
+
+bool in_outage_region(BsIndex bs, double region_fraction) {
+  if (!(region_fraction > 0.0)) return false;
+  if (region_fraction >= 1.0) return true;
+  // Top 53 bits as a uniform double in [0, 1).
+  const double u = static_cast<double>(mix_bs(bs) >> 11) * 0x1.0p-53;
+  return u < region_fraction;
+}
+
+bool in_degraded_cluster(const IncidentConfig& config, std::size_t bs_count, BsIndex bs) {
+  if (config.degraded_clusters == 0 || config.cluster_size == 0 || bs_count == 0) {
+    return false;
+  }
+  if (static_cast<std::size_t>(bs) >= bs_count) return false;
+  // Clusters sit at evenly spaced contiguous index ranges — deterministic,
+  // cheap to test against, and disjoint whenever bs_count / clusters exceeds
+  // the cluster size.
+  for (std::uint32_t c = 0; c < config.degraded_clusters; ++c) {
+    const std::size_t start =
+        bs_count * static_cast<std::size_t>(c) / config.degraded_clusters;
+    const std::size_t end = std::min(bs_count, start + config.cluster_size);
+    if (static_cast<std::size_t>(bs) >= start && static_cast<std::size_t>(bs) < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<BsIndex> degraded_bs_set(const IncidentConfig& config, std::size_t bs_count) {
+  std::vector<BsIndex> out;
+  if (config.degraded_clusters == 0 || config.cluster_size == 0) return out;
+  out.reserve(static_cast<std::size_t>(config.degraded_clusters) * config.cluster_size);
+  for (std::uint32_t c = 0; c < config.degraded_clusters; ++c) {
+    const std::size_t start =
+        bs_count * static_cast<std::size_t>(c) / config.degraded_clusters;
+    const std::size_t end = std::min(bs_count, start + config.cluster_size);
+    for (std::size_t b = start; b < end; ++b) {
+      out.push_back(static_cast<BsIndex>(b));
+    }
+  }
+  // Evenly spaced starts ascend, but tiny registries can make ranges overlap;
+  // canonicalize to a sorted, unique set.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Waypoint> build_waypoint_trace(const MobilityConfig& config,
+                                           const MobilityProfile& profile,
+                                           double campaign_days, Rng& rng) {
+  std::vector<Waypoint> out;
+  if (!config.enabled || !(campaign_days > 0.0)) return out;
+
+  const bool commuter = rng.bernoulli(config.commuter_fraction);
+  // Anchor pair chosen to maximize RAT contrast: the countryside home sits in
+  // GSM-blanketed coverage where barely half the sites carry LTE (and 3G is
+  // unusable), the work anchor in the hub/dense-urban classes where 4G/5G
+  // deployment is densest — so most legs cross a RAT boundary (the Fig. 17
+  // transition-risk workload).
+  LocationClass home = LocationClass::kRural;
+  LocationClass work = LocationClass::kTransportHub;
+  if (commuter) {
+    home = rng.bernoulli(0.5) ? LocationClass::kRural : LocationClass::kRemote;
+    work = rng.bernoulli(0.8) ? LocationClass::kTransportHub : LocationClass::kDenseUrban;
+  }
+
+  const int legs = std::max(
+      1, static_cast<int>(std::llround(config.legs_per_day * campaign_days)));
+  const SimDuration window = SimDuration::days(campaign_days);
+  out.reserve(static_cast<std::size_t>(legs) + 1);
+  for (int k = 0; k <= legs; ++k) {
+    Waypoint w;
+    // Leg 0 is pinned to the origin (the device starts at home); later legs
+    // jitter inside their slot. Slot gaps are 1.0 and jitter spans 0.6, so
+    // arrival times are strictly increasing by construction.
+    const double jitter = k == 0 ? 0.0 : rng.uniform(-0.3, 0.3);
+    const double frac =
+        std::clamp((static_cast<double>(k) + jitter) / (static_cast<double>(legs) + 1.0),
+                   0.0, 1.0);
+    w.at = SimTime::origin() + window * frac;
+    if (commuter) {
+      w.loc = (k % 2 == 0) ? home : work;
+    } else {
+      w.loc = profile.sample(rng);
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace cellrel

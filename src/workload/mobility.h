@@ -1,0 +1,139 @@
+// Scenario pack: mobility traces and nationwide-incident configuration.
+//
+// The paper's §5–§6 analysis hinges on what happens when devices *move*:
+// RAT transitions dominate failure risk (Fig. 17) and regional outages expose
+// the value of cross-ISP fallback. This header defines the two workload
+// families the steady-state campaign was missing:
+//
+//   * MobilityConfig — deterministic per-device waypoint traces (a pure
+//     function of the campaign seed and the fleet, same shard bit-identity
+//     contract as the parallel executor). Commuters alternate between a
+//     countryside home anchor (2G-heavy deployments, unusable 3G) and an
+//     urban work anchor (dense 4G/5G), so every leg forces a cell reselection
+//     across RAT boundaries and handover sequences become a first-class
+//     workload.
+//
+//   * IncidentConfig — nationwide incident scenarios: a regional ISP outage
+//     with a national-roaming fallback knob, BS-cluster degradation waves
+//     (the ground truth the sleeping-cell detector is scored against), and
+//     Android-layer fault-injection schedules that pin the NetworkFault the
+//     stall machinery injects during a window.
+//
+// Everything here is pure: no clocks, no global state, all draws from the
+// caller's Rng. Campaign wiring lives in campaign.cpp; validation rules in
+// Scenario::validate().
+
+#ifndef CELLREL_WORKLOAD_MOBILITY_H
+#define CELLREL_WORKLOAD_MOBILITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bs/base_station.h"
+#include "bs/isp.h"
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "device/device.h"
+#include "net/network_stack.h"
+
+namespace cellrel {
+
+/// One stop of a device's movement trace: from `at` onwards the device
+/// attaches from location class `loc` (until the next waypoint).
+struct Waypoint {
+  SimTime at;
+  LocationClass loc = LocationClass::kUrban;
+};
+
+/// Deterministic mobility model (ROADMAP item 3a). When enabled, each device
+/// draws a waypoint trace from its own forked RNG stream: commuters alternate
+/// between a home anchor (rural/suburban) and a work anchor (transport
+/// hub/dense urban), non-commuters roam over their MobilityProfile. Every
+/// waypoint plants an extra session at the arrival cell, so legs_per_day
+/// directly controls how many handover opportunities a device sees.
+struct MobilityConfig {
+  bool enabled = false;
+  /// Movement legs per simulated day (> 0, <= 48 when enabled). Each leg is
+  /// one waypoint: an arrival session at the new location.
+  double legs_per_day = 4.0;
+  /// Fraction of the fleet on the commuter (anchor-pair) pattern; the rest
+  /// roam across their per-device MobilityProfile every leg.
+  double commuter_fraction = 0.6;
+};
+
+/// Nationwide-incident configuration (ROADMAP item 3b). All three families
+/// are independent and composable; `any()` is false for the default-constructed
+/// config, in which case the campaign's draw sequence is untouched.
+struct IncidentConfig {
+  // --- Regional ISP outage -------------------------------------------------
+  /// Enables the outage: one ISP loses a deterministic region of its BSes
+  /// for a window. Affected sessions either roam onto another ISP
+  /// (national_roaming) or go out of service.
+  bool outage = false;
+  IspId outage_isp = IspId::kIspA;
+  double outage_start_day = 0.0;
+  double outage_days = 0.0;
+  /// Fraction of the ISP's BSes inside the affected region (deterministic
+  /// per-BS hash membership; (0, 1] when the outage is enabled).
+  double outage_region_fraction = 0.25;
+  /// National-roaming fallback: affected sessions re-attach through a
+  /// surviving ISP instead of dropping to out-of-service.
+  bool national_roaming = false;
+
+  // --- BS-cluster degradation waves ---------------------------------------
+  /// Number of degraded BS clusters (0 disables the wave).
+  std::uint32_t degraded_clusters = 0;
+  /// Contiguous BSes per degraded cluster (>= 1 when clusters > 0).
+  std::uint32_t cluster_size = 8;
+  double degradation_start_day = 0.0;
+  double degradation_days = 0.0;
+  /// Multiplier on the per-session failure probability while attached to a
+  /// degraded BS inside the window (>= 1 when clusters > 0).
+  double degradation_severity = 12.0;
+
+  // --- Android-layer fault-injection schedule ------------------------------
+  /// When not kNone, every stall-family episode inside the window injects
+  /// exactly this fault (extending the dead-modem-driver/broken-proxy
+  /// machinery in src/net to a scheduled, scenario-level knob).
+  NetworkFault fault = NetworkFault::kNone;
+  double fault_start_day = 0.0;
+  double fault_days = 0.0;
+
+  bool outage_enabled() const { return outage; }
+  bool degradation_enabled() const { return degraded_clusters > 0; }
+  bool fault_schedule_enabled() const { return fault != NetworkFault::kNone; }
+  /// True when any incident family is active (campaign fast-path guard).
+  bool any() const {
+    return outage_enabled() || degradation_enabled() || fault_schedule_enabled();
+  }
+};
+
+/// True when `at` falls inside [start_day, start_day + days) of the campaign.
+bool in_incident_window(double start_day, double days, SimTime at);
+
+/// Deterministic region membership for the ISP outage: a pure per-BS hash
+/// (no RNG, no state) so every shard — and every test — agrees on the
+/// affected set without materializing it.
+bool in_outage_region(BsIndex bs, double region_fraction);
+
+/// True when `bs` falls in one of the evenly spaced degraded clusters of a
+/// `bs_count`-sized registry. Pure function of the config.
+bool in_degraded_cluster(const IncidentConfig& config, std::size_t bs_count, BsIndex bs);
+
+/// The full affected-BS set of the degradation wave, ascending. The
+/// campaign's ground truth for incident-aware detection scoring.
+std::vector<BsIndex> degraded_bs_set(const IncidentConfig& config, std::size_t bs_count);
+
+/// Builds one device's waypoint trace: a pure function of (config, profile,
+/// window, rng) — the campaign passes the device's own forked RNG, so the
+/// trace is independent of thread count and shard layout. The first waypoint
+/// is pinned to the campaign origin (the device starts at its home anchor);
+/// subsequent waypoints are jitter-spread so arrivals never collide.
+/// Strictly increasing in time. Empty when the model is disabled.
+std::vector<Waypoint> build_waypoint_trace(const MobilityConfig& config,
+                                           const MobilityProfile& profile,
+                                           double campaign_days, Rng& rng);
+
+}  // namespace cellrel
+
+#endif  // CELLREL_WORKLOAD_MOBILITY_H

@@ -55,6 +55,67 @@ std::vector<ScenarioError> Scenario::validate() const {
     errors.push_back({"detect_window_s",
                       "detection window must be at least one simulated second"});
   }
+  // Scenario-pack rules fire only when the corresponding feature is enabled,
+  // so default (pack-free) scenarios validate exactly as before.
+  if (mobility.enabled) {
+    if (!(mobility.legs_per_day > 0.0) || mobility.legs_per_day > 48.0) {
+      errors.push_back({"mobility.legs_per_day",
+                        "movement legs per day must be in (0, 48] when the "
+                        "mobility model is enabled"});
+    }
+    if (!(mobility.commuter_fraction >= 0.0) || mobility.commuter_fraction > 1.0) {
+      errors.push_back({"mobility.commuter_fraction",
+                        "commuter fraction must be a probability in [0, 1]"});
+    }
+  }
+  if (incident.outage_enabled()) {
+    if (!(incident.outage_days > 0.0)) {
+      errors.push_back({"incident.outage_days",
+                        "outage window must be positive when the outage is enabled"});
+    }
+    if (!(incident.outage_start_day >= 0.0)) {
+      errors.push_back({"incident.outage_start_day",
+                        "outage start must not precede the campaign origin"});
+    }
+    if (!(incident.outage_region_fraction > 0.0) ||
+        incident.outage_region_fraction > 1.0) {
+      errors.push_back({"incident.outage_region_fraction",
+                        "affected region fraction must be in (0, 1]"});
+    }
+  } else if (incident.national_roaming) {
+    errors.push_back({"incident.national_roaming",
+                      "national roaming is an outage fallback; enable the "
+                      "regional outage to use it"});
+  }
+  if (incident.degradation_enabled()) {
+    if (incident.cluster_size == 0) {
+      errors.push_back({"incident.cluster_size",
+                        "degraded clusters must contain at least one BS"});
+    }
+    if (!(incident.degradation_days > 0.0)) {
+      errors.push_back({"incident.degradation_days",
+                        "degradation window must be positive when clusters are set"});
+    }
+    if (!(incident.degradation_start_day >= 0.0)) {
+      errors.push_back({"incident.degradation_start_day",
+                        "degradation start must not precede the campaign origin"});
+    }
+    if (!(incident.degradation_severity >= 1.0)) {
+      errors.push_back({"incident.degradation_severity",
+                        "degradation severity is a hazard multiplier and must be >= 1"});
+    }
+  }
+  if (incident.fault_schedule_enabled()) {
+    if (!(incident.fault_days > 0.0)) {
+      errors.push_back({"incident.fault_days",
+                        "fault-injection window must be positive when a fault "
+                        "is scheduled"});
+    }
+    if (!(incident.fault_start_day >= 0.0)) {
+      errors.push_back({"incident.fault_start_day",
+                        "fault-injection start must not precede the campaign origin"});
+    }
+  }
   if (recovery == RecoveryVariant::kTimpOptimized) {
     for (std::size_t i = 0; i < kRecoveryStageCount; ++i) {
       if (!(timp_schedule.probation[i] > SimDuration::zero())) {

@@ -12,6 +12,7 @@
 #include "query/spec.h"
 #include "telephony/recovery.h"
 #include "workload/calibration.h"
+#include "workload/mobility.h"
 
 namespace cellrel {
 
@@ -80,6 +81,16 @@ struct Scenario {
   double detect_window_s = 86'400.0;
 
   DeploymentConfig deployment;
+
+  /// Mobility model (DESIGN.md §13): deterministic per-device waypoint
+  /// traces that make handover/RAT-transition sequences a first-class
+  /// workload. Off by default — the campaign's draw sequence is untouched
+  /// and every seeded output stays bit-identical to pre-pack builds.
+  MobilityConfig mobility;
+  /// Nationwide incidents (DESIGN.md §13): regional ISP outage with a
+  /// national-roaming knob, BS-cluster degradation waves, Android-layer
+  /// fault-injection schedules. Off by default (same guarantee as mobility).
+  IncidentConfig incident;
 
   PolicyVariant policy = PolicyVariant::kStock;
   /// 4G/5G dual connectivity rides along with the stability-compatible

@@ -93,6 +93,44 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(1, 2, 4)));
 
 // ---------------------------------------------------------------------------
+// Prober: flipping inject_fault() mid-episode — the scenario pack's
+// fault-schedule move — never strands the state machine. For every ordered
+// (from, to) pair over the full NetworkFault domain the episode completes
+// with one of the three classifiable outcomes, never kAborted and never an
+// unnamed result.
+// ---------------------------------------------------------------------------
+class ProberFaultTransitionTest
+    : public ::testing::TestWithParam<std::tuple<NetworkFault, NetworkFault>> {};
+
+TEST_P(ProberFaultTransitionTest, MidEpisodeInjectionAlwaysClassifiable) {
+  const auto [from, to] = GetParam();
+  Simulator sim;
+  NetworkStack stack(sim, Rng{9});
+  stack.inject_fault(from);
+  NetworkStateProber prober(sim, stack);
+  std::optional<NetworkStateProber::Report> report;
+  prober.start(SimTime::origin(),
+               [&](const NetworkStateProber::Report& r) { report = r; });
+  // Flip mid-round (inside the first round's DNS window), then heal so a
+  // surviving true stall can terminate.
+  sim.schedule_after(SimDuration::seconds(2.5), [&, to = to] { stack.inject_fault(to); });
+  sim.schedule_after(SimDuration::seconds(40.0),
+                     [&] { stack.inject_fault(NetworkFault::kNone); });
+  sim.run();
+  ASSERT_TRUE(report.has_value())
+      << to_string(from) << " -> " << to_string(to) << ": episode never completed";
+  EXPECT_NE(report->result, ProbeEpisodeResult::kAborted)
+      << to_string(from) << " -> " << to_string(to);
+  EXPECT_NE(to_string(report->result), "?");
+  EXPECT_GE(report->rounds, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFaultPairs, ProberFaultTransitionTest,
+    ::testing::Combine(::testing::ValuesIn(kAllNetworkFaults),
+                       ::testing::ValuesIn(kAllNetworkFaults)));
+
+// ---------------------------------------------------------------------------
 // Prober: across outage lengths, the measured duration error never exceeds
 // one probing round (5 s) while in ladder mode.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,8 @@
+// Seeded violation: the network stack (layer 1) reaching up into the
+// scenario pack's mobility/incident configuration (workload, layer 3).
+// Fault schedules flow DOWN from the campaign via inject_fault(); the stack
+// must never read scenario state. One layering finding expected.
+#ifndef FIXTURE_NET_BAD_MOBILITY_REACH_H
+#define FIXTURE_NET_BAD_MOBILITY_REACH_H
+#include "workload/mobility.h"
+#endif

@@ -1,0 +1,9 @@
+// Clean file: the sanctioned direction of the scenario-pack edges. The
+// workload layer (3) may include bs/device/net (layer 1) — exactly the
+// dependencies workload/mobility.h takes — and none may be flagged.
+#ifndef FIXTURE_WORKLOAD_OK_MOBILITY_H
+#define FIXTURE_WORKLOAD_OK_MOBILITY_H
+#include "bs/base_station.h"
+#include "device/device.h"
+#include "net/network_stack.h"
+#endif

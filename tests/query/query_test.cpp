@@ -14,9 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/aggregate.h"
@@ -235,6 +238,69 @@ TEST_F(QueryContractTest, PresetsReproduceLegacyRenderers) {
     }
     const QueryResult qr = execute_over_dataset(result.dataset, *find_preset("fig5"));
     EXPECT_EQ(query_result_to_text(qr), render_series(legacy, {.precision = 1}));
+  }
+
+  {  // fig6/fig7: non-5G vs 5G cohorts, byte-equal to render_series over
+     // the legacy Aggregator::by_5g_capability split.
+    const auto by5g = agg.by_5g_capability(false);
+    Series prev, freq;
+    prev.name = "fig6";
+    freq.name = "fig7";
+    const char* labels[] = {"non-5G models", "5G models"};
+    for (std::size_t b = 0; b < 2; ++b) {
+      prev.labels.push_back(labels[b]);
+      prev.values.push_back(by5g[b].prevalence());
+      freq.labels.push_back(labels[b]);
+      freq.values.push_back(by5g[b].frequency());
+    }
+    const QueryResult q6 = execute_over_dataset(result.dataset, *find_preset("fig6"));
+    EXPECT_EQ(query_result_to_text(q6), render_series(prev));
+    const QueryResult q7 = execute_over_dataset(result.dataset, *find_preset("fig7"));
+    EXPECT_EQ(query_result_to_text(q7), render_series(freq, {.precision = 1}));
+  }
+
+  {  // fig8/fig9: Android 9 vs 10 cohorts against by_android_version.
+    const auto by_android = agg.by_android_version(false);
+    Series prev, freq;
+    prev.name = "fig8";
+    freq.name = "fig9";
+    const char* labels[] = {"Android 9", "Android 10"};
+    for (std::size_t b = 0; b < 2; ++b) {
+      prev.labels.push_back(labels[b]);
+      prev.values.push_back(by_android[b].prevalence());
+      freq.labels.push_back(labels[b]);
+      freq.values.push_back(by_android[b].frequency());
+    }
+    const QueryResult q8 = execute_over_dataset(result.dataset, *find_preset("fig8"));
+    EXPECT_EQ(query_result_to_text(q8), render_series(prev));
+    const QueryResult q9 = execute_over_dataset(result.dataset, *find_preset("fig9"));
+    EXPECT_EQ(query_result_to_text(q9), render_series(freq, {.precision = 1}));
+  }
+
+  {  // fig11: the Zipf head — top BSes by kept failures, value-equal to a
+     // legacy-style ranking built straight off the dataset (count
+     // descending, BS index ascending, the top_error_codes tiebreak).
+    std::map<BsIndex, std::uint64_t> per_bs;
+    std::uint64_t total = 0;
+    result.dataset.for_each_kept([&](const TraceRecord& r) {
+      ++per_bs[r.bs];
+      ++total;
+    });
+    std::vector<std::pair<BsIndex, std::uint64_t>> ranked(per_bs.begin(), per_bs.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    if (ranked.size() > 10) ranked.resize(10);
+    const QueryResult qr = execute_over_dataset(result.dataset, *find_preset("fig11"));
+    ASSERT_EQ(qr.top.size(), ranked.size());
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+      EXPECT_EQ(qr.top[i].key, "bs " + std::to_string(ranked[i].first)) << "rank " << i;
+      EXPECT_EQ(qr.top[i].count, ranked[i].second) << "rank " << i;
+      EXPECT_EQ(qr.top[i].percent, 100.0 * static_cast<double>(ranked[i].second) /
+                                       static_cast<double>(total))
+          << "rank " << i;
+    }
   }
 
   {  // fig17: the 4G->5G transition heatmap, legacy panel title.

@@ -44,6 +44,22 @@ TEST(CellrelLint, LayeringViolationDetected) {
   EXPECT_NE(it->message.find("telephony"), std::string::npos);
 }
 
+TEST(CellrelLint, ScenarioPackEdgesRegisteredInLayerDag) {
+  // The scenario pack's new module edges: workload -> {bs, device, net} is
+  // the sanctioned direction; net reaching up into workload/mobility.h must
+  // be the tree's only finding.
+  const auto violations = lint_tree(kFixtures / "mobility_layering");
+  ASSERT_EQ(count_rule(violations, "layering"), 1)
+      << "expected exactly the seeded upward edge";
+  const auto it = std::find_if(violations.begin(), violations.end(),
+                               [](const Violation& v) { return v.rule == "layering"; });
+  EXPECT_EQ(it->file, "net/bad_mobility_reach.h");
+  EXPECT_NE(it->message.find("workload"), std::string::npos);
+  for (const Violation& v : violations) {
+    EXPECT_NE(v.file, "workload/ok_mobility.h") << v.message;
+  }
+}
+
 TEST(CellrelLint, SystemClockBanDetected) {
   const auto violations = lint_tree(kFixtures / "nondeterminism");
   ASSERT_TRUE(has_rule(violations, "nondeterminism"));

@@ -88,6 +88,118 @@ TEST(ScenarioValidate, RejectsNonPositiveTimpProbationOnlyWhenTimpSelected) {
   EXPECT_TRUE(has_error_for(sc.validate(), "timp_schedule"));
 }
 
+// --- Scenario-pack fields (DESIGN.md §13) --------------------------------
+// Every rejection reason is asserted by field name; the rules are
+// feature-gated, so pack-free scenarios keep validating exactly as before.
+
+TEST(ScenarioValidate, MobilityFieldsIgnoredWhileDisabled) {
+  Scenario sc;
+  sc.mobility.legs_per_day = -3.0;
+  sc.mobility.commuter_fraction = 7.0;
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsOutOfRangeLegsPerDay) {
+  Scenario sc;
+  sc.mobility.enabled = true;
+  sc.mobility.legs_per_day = 0.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "mobility.legs_per_day"));
+  sc.mobility.legs_per_day = 48.5;
+  EXPECT_TRUE(has_error_for(sc.validate(), "mobility.legs_per_day"));
+  sc.mobility.legs_per_day = 48.0;  // at the cap: fine
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsNonProbabilityCommuterFraction) {
+  Scenario sc;
+  sc.mobility.enabled = true;
+  sc.mobility.commuter_fraction = -0.1;
+  EXPECT_TRUE(has_error_for(sc.validate(), "mobility.commuter_fraction"));
+  sc.mobility.commuter_fraction = 1.5;
+  EXPECT_TRUE(has_error_for(sc.validate(), "mobility.commuter_fraction"));
+  sc.mobility.commuter_fraction = 1.0;
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsEmptyOutageWindow) {
+  Scenario sc;
+  sc.incident.outage = true;  // defaults leave outage_days at 0
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.outage_days"));
+  sc.incident.outage_days = -2.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.outage_days"));
+}
+
+TEST(ScenarioValidate, RejectsNegativeOutageStart) {
+  Scenario sc;
+  sc.incident.outage = true;
+  sc.incident.outage_days = 5.0;
+  sc.incident.outage_start_day = -1.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.outage_start_day"));
+}
+
+TEST(ScenarioValidate, RejectsOutOfRangeOutageRegionFraction) {
+  Scenario sc;
+  sc.incident.outage = true;
+  sc.incident.outage_days = 5.0;
+  sc.incident.outage_region_fraction = 0.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.outage_region_fraction"));
+  sc.incident.outage_region_fraction = 1.25;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.outage_region_fraction"));
+  sc.incident.outage_region_fraction = 1.0;
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsRoamingWithoutAnOutage) {
+  Scenario sc;
+  sc.incident.national_roaming = true;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.national_roaming"));
+  sc.incident.outage = true;
+  sc.incident.outage_days = 5.0;
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsDegenerateDegradationWave) {
+  Scenario sc;
+  sc.incident.degraded_clusters = 4;  // defaults leave degradation_days at 0
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.degradation_days"));
+  sc.incident.degradation_days = 5.0;
+  sc.incident.cluster_size = 0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.cluster_size"));
+  sc.incident.cluster_size = 8;
+  sc.incident.degradation_start_day = -0.5;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.degradation_start_day"));
+  sc.incident.degradation_start_day = 0.0;
+  sc.incident.degradation_severity = 0.5;  // would *reduce* failures
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.degradation_severity"));
+  sc.incident.degradation_severity = 1.0;
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, RejectsEmptyFaultScheduleWindow) {
+  Scenario sc;
+  sc.incident.fault = NetworkFault::kDnsOutage;  // fault_days defaults to 0
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.fault_days"));
+  sc.incident.fault_days = 3.0;
+  sc.incident.fault_start_day = -1.0;
+  EXPECT_TRUE(has_error_for(sc.validate(), "incident.fault_start_day"));
+  sc.incident.fault_start_day = 2.0;
+  EXPECT_TRUE(sc.validate().empty());
+}
+
+TEST(ScenarioValidate, PackErrorsAccumulateAcrossFamilies) {
+  Scenario sc;
+  sc.mobility.enabled = true;
+  sc.mobility.legs_per_day = -1.0;
+  sc.incident.outage = true;  // empty window
+  sc.incident.degraded_clusters = 2;  // empty window
+  sc.incident.fault = NetworkFault::kProxyBroken;  // empty window
+  const auto errors = sc.validate();
+  EXPECT_TRUE(has_error_for(errors, "mobility.legs_per_day"));
+  EXPECT_TRUE(has_error_for(errors, "incident.outage_days"));
+  EXPECT_TRUE(has_error_for(errors, "incident.degradation_days"));
+  EXPECT_TRUE(has_error_for(errors, "incident.fault_days"));
+}
+
 TEST(ScenarioValidate, ReportsEveryFindingNotJustTheFirst) {
   Scenario sc;
   sc.device_count = 0;

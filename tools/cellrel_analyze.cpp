@@ -207,13 +207,18 @@ int cmd_legacy(int argc, char** argv) {
                     cli::string_value(&report_path));
 
   const cli::ParseResult parsed = parser.parse(argc, argv);
+  // The one-line notice goes out on every flat invocation — including the
+  // usage-error exits below — so scripts still driving the legacy surface
+  // see it regardless of how the call went. `--help` stays clean.
+  if (!parsed.help_requested) {
+    std::fprintf(stderr,
+                 "note: flat flags are deprecated; use `cellrel_analyze report DIR "
+                 "[--figures] [--report OUT.md]`, `cellrel_analyze health DIR [--window S]` "
+                 "or `cellrel_analyze query DIR --preset NAME`\n");
+  }
   if (parsed.help_requested || !parsed.ok || parsed.positionals.size() != 1) {
     return usage_exit(parser, parsed, "expected exactly one DATASET_DIR argument");
   }
-  std::fprintf(stderr,
-               "note: flat flags are deprecated; use `cellrel_analyze report DIR "
-               "[--figures] [--report OUT.md]`, `cellrel_analyze health DIR [--window S]` "
-               "or `cellrel_analyze query DIR --preset NAME`\n");
 
   TraceDataset dataset;
   if (!load_dataset(parsed.positionals[0], &dataset)) return 1;

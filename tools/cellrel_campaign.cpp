@@ -130,6 +130,102 @@ int main(int argc, char** argv) {
                       sc.recovery = *parsed;
                       return true;
                     });
+  bool incident_convenience = false;
+  parser.add_flag("--mobility", "enable the deterministic mobility model (waypoint traces)",
+                  [&sc] { sc.mobility.enabled = true; });
+  parser.add_option("--mobility-legs", "L", "movement legs per day (implies --mobility)",
+                    [&sc](std::string_view v) {
+                      if (!cli::double_value(&sc.mobility.legs_per_day)(v)) return false;
+                      sc.mobility.enabled = true;
+                      return true;
+                    });
+  parser.add_option("--mobility-commuters", "F",
+                    "commuter (anchor-pair) fleet fraction (implies --mobility)",
+                    [&sc](std::string_view v) {
+                      if (!cli::double_value(&sc.mobility.commuter_fraction)(v)) return false;
+                      sc.mobility.enabled = true;
+                      return true;
+                    });
+  parser.add_option("--incident", "outage|roaming|degradation|fault",
+                    "enable an incident family with a default mid-campaign window",
+                    [&sc, &incident_convenience](std::string_view v) {
+                      incident_convenience = true;
+                      if (v == "outage") {
+                        sc.incident.outage = true;
+                      } else if (v == "roaming") {
+                        sc.incident.outage = true;
+                        sc.incident.national_roaming = true;
+                      } else if (v == "degradation") {
+                        if (sc.incident.degraded_clusters == 0) {
+                          sc.incident.degraded_clusters = 4;
+                        }
+                      } else if (v == "fault") {
+                        if (sc.incident.fault == NetworkFault::kNone) {
+                          sc.incident.fault = NetworkFault::kModemDriverWedged;
+                        }
+                      } else {
+                        return false;
+                      }
+                      return true;
+                    });
+  parser.add_option("--outage-isp", "A|B|C", "ISP hit by the regional outage (implies it)",
+                    [&sc](std::string_view v) {
+                      for (const IspId isp : kAllIsps) {
+                        const std::string_view name = to_string(isp);
+                        if (v == name || (v.size() == 1 && name.ends_with(v))) {
+                          sc.incident.outage_isp = isp;
+                          sc.incident.outage = true;
+                          return true;
+                        }
+                      }
+                      return false;
+                    });
+  parser.add_option("--outage-start", "D", "outage start day (implies the outage)",
+                    [&sc](std::string_view v) {
+                      if (!cli::double_value(&sc.incident.outage_start_day)(v)) return false;
+                      sc.incident.outage = true;
+                      return true;
+                    });
+  parser.add_option("--outage-days", "D", "outage window length (implies the outage)",
+                    [&sc](std::string_view v) {
+                      if (!cli::double_value(&sc.incident.outage_days)(v)) return false;
+                      sc.incident.outage = true;
+                      return true;
+                    });
+  parser.add_option("--outage-region", "F",
+                    "affected fraction of the ISP's BSes (implies the outage)",
+                    [&sc](std::string_view v) {
+                      if (!cli::double_value(&sc.incident.outage_region_fraction)(v)) {
+                        return false;
+                      }
+                      sc.incident.outage = true;
+                      return true;
+                    });
+  parser.add_flag("--roaming", "national-roaming fallback for outage sessions",
+                  [&sc] { sc.incident.national_roaming = true; });
+  parser.add_option("--degraded-clusters", "N", "degraded BS clusters (0 = off)",
+                    cli::u32_value(&sc.incident.degraded_clusters));
+  parser.add_option("--cluster-size", "N", "BSes per degraded cluster",
+                    cli::u32_value(&sc.incident.cluster_size));
+  parser.add_option("--degradation-start", "D", "degradation-wave start day",
+                    cli::double_value(&sc.incident.degradation_start_day));
+  parser.add_option("--degradation-days", "D", "degradation-wave window length",
+                    cli::double_value(&sc.incident.degradation_days));
+  parser.add_option("--degradation-severity", "X",
+                    "failure-probability multiplier on degraded BSes",
+                    cli::double_value(&sc.incident.degradation_severity));
+  parser.add_option("--fault", "NAME",
+                    "schedule an Android-layer fault (e.g. modem-driver-wedged)",
+                    [&sc](std::string_view v) {
+                      const auto parsed = parse_network_fault(v);
+                      if (!parsed) return false;
+                      sc.incident.fault = *parsed;
+                      return true;
+                    });
+  parser.add_option("--fault-start", "D", "fault-injection start day",
+                    cli::double_value(&sc.incident.fault_start_day));
+  parser.add_option("--fault-days", "D", "fault-injection window length",
+                    cli::double_value(&sc.incident.fault_days));
   parser.add_flag("--no-probing", "disable the monitor's probe ladder",
                   [&sc] { sc.monitor_probing = false; });
   parser.add_flag("--no-dualconn", "disable 4G/5G dual connectivity",
@@ -199,6 +295,26 @@ int main(int argc, char** argv) {
   if (sc.stream && !out_dir.empty()) {
     sc.stream_out_dir = out_dir;
     out_dir.clear();
+  }
+
+  // --incident convenience: families enabled without an explicit window get a
+  // mid-campaign default (quarter in, half the campaign long). Explicitly set
+  // windows — valid or not — are left alone for validate() to judge.
+  if (incident_convenience) {
+    const double start = sc.campaign_days * 0.25;
+    const double span = sc.campaign_days * 0.5;
+    if (sc.incident.outage_enabled() && sc.incident.outage_days == 0.0) {
+      sc.incident.outage_start_day = start;
+      sc.incident.outage_days = span;
+    }
+    if (sc.incident.degradation_enabled() && sc.incident.degradation_days == 0.0) {
+      sc.incident.degradation_start_day = start;
+      sc.incident.degradation_days = span;
+    }
+    if (sc.incident.fault_schedule_enabled() && sc.incident.fault_days == 0.0) {
+      sc.incident.fault_start_day = start;
+      sc.incident.fault_days = span;
+    }
   }
 
   const std::vector<ScenarioError> errors = sc.validate();
